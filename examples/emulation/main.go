@@ -1,0 +1,60 @@
+// Emulation example (Section 4): compare the methodologies prior work used
+// to emulate persistent memory — plain DRAM, remote-socket DRAM, PMEP —
+// against the simulated 3D XPoint, on the same write kernel. None of them
+// capture the real device's behavior.
+package main
+
+import (
+	"fmt"
+
+	"optanestudy"
+	"optanestudy/internal/lattester"
+	"optanestudy/internal/platform"
+)
+
+func main() {
+	type system struct {
+		name string
+		make func() (*platform.Namespace, int)
+	}
+	systems := []system{
+		{"Optane", func() (*platform.Namespace, int) {
+			p := optanestudy.NewPlatform(optanestudy.DefaultConfig())
+			ns, _ := p.Optane("pm", 0, 1<<30)
+			return ns, 0
+		}},
+		{"DRAM", func() (*platform.Namespace, int) {
+			p := optanestudy.NewPlatform(optanestudy.DefaultConfig())
+			ns, _ := p.DRAM("pm", 0, 1<<30)
+			return ns, 0
+		}},
+		{"DRAM-Remote", func() (*platform.Namespace, int) {
+			p := optanestudy.NewPlatform(optanestudy.DefaultConfig())
+			ns, _ := p.DRAM("pm", 0, 1<<30)
+			return ns, 1
+		}},
+		{"PMEP", func() (*platform.Namespace, int) {
+			p := optanestudy.NewPlatform(optanestudy.PMEPConfig())
+			ns, _ := p.DRAM("pm", 0, 1<<30)
+			return ns, 0
+		}},
+	}
+
+	fmt.Printf("%-14s %16s %16s %10s\n", "system", "seq-64B-write", "rand-64B-write", "EWR")
+	for _, s := range systems {
+		var row [2]float64
+		var ewr float64
+		for i, pat := range []lattester.PatternKind{lattester.Sequential, lattester.Random} {
+			ns, socket := s.make()
+			res := optanestudy.Measure(optanestudy.BenchSpec{
+				NS: ns, Socket: socket, Op: lattester.OpNTStore,
+				Pattern: pat, AccessSize: 64, Threads: 1,
+			})
+			row[i] = res.GBs
+			ewr = res.EWR()
+		}
+		fmt.Printf("%-14s %13.2f GB/s %13.2f GB/s %10.2f\n", s.name, row[0], row[1], ewr)
+	}
+	fmt.Println("\nOnly the 3D XPoint model shows the sequential/random asymmetry")
+	fmt.Println("and sub-XPLine write amplification that shaped the paper's guidelines.")
+}

@@ -1,0 +1,307 @@
+// Package cache models the CPU cache hierarchy as seen by persistent
+// memory: a last-level cache tracking clean/dirty 64 B lines with random
+// replacement, and per-thread write-combining buffers for non-temporal
+// stores.
+//
+// Two properties matter for the study: dirty lines are *not* persistent
+// (the ADR domain stops at the iMC), and natural evictions leave the cache
+// in an order uncorrelated with program order — which is why un-flushed
+// store streams reach the DIMMs scrambled and destroy write combining
+// (Section 5.2).
+package cache
+
+import (
+	"optanestudy/internal/mem"
+	"optanestudy/internal/sim"
+)
+
+// Config parameterizes the LLC model.
+type Config struct {
+	// Lines is the capacity in 64 B cache lines.
+	Lines int
+	// HitLatency is the load-to-use time for an LLC hit.
+	HitLatency sim.Time
+	// Seed feeds the replacement RNG.
+	Seed uint64
+}
+
+// DefaultConfig returns the calibrated LLC: 12 MB effective capacity (the
+// single-thread share of a Cascade Lake LLC) and ~20 ns hits.
+func DefaultConfig() Config {
+	return Config{
+		Lines:      12 << 20 / mem.CacheLine,
+		HitLatency: 20 * sim.Nanosecond,
+		Seed:       0x11CC,
+	}
+}
+
+// Victim describes an evicted line.
+type Victim struct {
+	Addr  int64
+	Dirty bool
+	Data  []byte // overlay contents if the line carried data, else nil
+	Mask  uint64 // bitmask of valid overlay bytes
+}
+
+// LLC is a set of resident lines with random replacement. Addresses are
+// global physical line addresses.
+type LLC struct {
+	cfg   Config
+	rng   *sim.RNG
+	lines map[int64]*line
+	keys  []int64
+	pos   map[int64]int
+}
+
+type line struct {
+	dirty bool
+	data  []byte // lazily allocated 64 B overlay for tracked stores
+	mask  uint64 // which overlay bytes hold store data (coherence: only
+	// these bytes may be written back; the rest belong to
+	// durable storage or other writers)
+}
+
+// New returns an empty LLC.
+func New(cfg Config) *LLC {
+	if cfg.Lines < 16 {
+		cfg.Lines = 16
+	}
+	return &LLC{
+		cfg:   cfg,
+		rng:   sim.NewRNG(cfg.Seed),
+		lines: make(map[int64]*line),
+		pos:   make(map[int64]int),
+	}
+}
+
+// HitLatency returns the configured hit latency.
+func (c *LLC) HitLatency() sim.Time { return c.cfg.HitLatency }
+
+// Len returns the number of resident lines.
+func (c *LLC) Len() int { return len(c.lines) }
+
+// Present reports whether addr's line is resident.
+func (c *LLC) Present(addr int64) bool {
+	_, ok := c.lines[addr]
+	return ok
+}
+
+// Dirty reports whether addr's line is resident and dirty.
+func (c *LLC) Dirty(addr int64) bool {
+	l, ok := c.lines[addr]
+	return ok && l.dirty
+}
+
+// Data returns the overlay bytes and validity mask for a resident line.
+func (c *LLC) Data(addr int64) ([]byte, uint64) {
+	if l, ok := c.lines[addr]; ok {
+		return l.data, l.mask
+	}
+	return nil, 0
+}
+
+func (c *LLC) insertKey(addr int64) {
+	c.pos[addr] = len(c.keys)
+	c.keys = append(c.keys, addr)
+}
+
+func (c *LLC) removeKey(addr int64) {
+	i := c.pos[addr]
+	last := len(c.keys) - 1
+	c.keys[i] = c.keys[last]
+	c.pos[c.keys[i]] = i
+	c.keys = c.keys[:last]
+	delete(c.pos, addr)
+}
+
+// Insert makes addr resident (clean unless marked dirty afterwards) and
+// returns the victim if the insertion evicted a line.
+func (c *LLC) Insert(addr int64) (Victim, bool) {
+	if _, ok := c.lines[addr]; ok {
+		return Victim{}, false
+	}
+	var v Victim
+	evicted := false
+	if len(c.lines) >= c.cfg.Lines {
+		vaddr := c.keys[c.rng.Intn(len(c.keys))]
+		vl := c.lines[vaddr]
+		v = Victim{Addr: vaddr, Dirty: vl.dirty, Data: vl.data, Mask: vl.mask}
+		delete(c.lines, vaddr)
+		c.removeKey(vaddr)
+		evicted = true
+	}
+	c.lines[addr] = &line{}
+	c.insertKey(addr)
+	return v, evicted
+}
+
+// MarkDirty sets the line dirty, inserting it if absent (the caller is
+// responsible for any RFO timing). data, when non-nil, is copied into the
+// line's overlay at byte offset off within the line and the corresponding
+// mask bits are set.
+func (c *LLC) MarkDirty(addr int64, off int, data []byte) (Victim, bool) {
+	v, evicted := c.Insert(addr)
+	l := c.lines[addr]
+	l.dirty = true
+	if data != nil {
+		if l.data == nil {
+			l.data = make([]byte, mem.CacheLine)
+		}
+		copy(l.data[off:], data)
+		for i := 0; i < len(data); i++ {
+			l.mask |= 1 << uint(off+i)
+		}
+	}
+	return v, evicted
+}
+
+// WriteBack clears the line's dirty bit and overlay, returning the overlay
+// data, its byte mask, and whether the line was dirty. The line stays
+// resident (clwb semantics); after write-back the durable copy is
+// authoritative, so the overlay is dropped.
+func (c *LLC) WriteBack(addr int64) ([]byte, uint64, bool) {
+	l, ok := c.lines[addr]
+	if !ok || !l.dirty {
+		return nil, 0, false
+	}
+	data, mask := l.data, l.mask
+	l.dirty = false
+	l.data, l.mask = nil, 0
+	return data, mask, true
+}
+
+// Evict removes the line (clflush/clflushopt semantics), returning its
+// overlay data, mask, and whether it was dirty.
+func (c *LLC) Evict(addr int64) ([]byte, uint64, bool) {
+	l, ok := c.lines[addr]
+	if !ok {
+		return nil, 0, false
+	}
+	delete(c.lines, addr)
+	c.removeKey(addr)
+	return l.data, l.mask, l.dirty
+}
+
+// DropAll empties the cache, discarding dirty data — the volatile half of a
+// crash. It returns how many dirty lines were lost.
+func (c *LLC) DropAll() int {
+	lost := 0
+	for _, l := range c.lines {
+		if l.dirty {
+			lost++
+		}
+	}
+	c.lines = make(map[int64]*line)
+	c.keys = c.keys[:0]
+	c.pos = make(map[int64]int)
+	return lost
+}
+
+// FlushAll empties the cache, handing every dirty line's overlay to fn —
+// the eADR crash path, where residual energy drains the caches to the
+// DIMMs. It returns how many dirty lines were flushed.
+func (c *LLC) FlushAll(fn func(addr int64, data []byte, mask uint64)) int {
+	flushed := 0
+	for addr, l := range c.lines {
+		if l.dirty {
+			flushed++
+			if l.data != nil {
+				fn(addr, l.data, l.mask)
+			}
+		}
+	}
+	c.lines = make(map[int64]*line)
+	c.keys = c.keys[:0]
+	c.pos = make(map[int64]int)
+	return flushed
+}
+
+// DirtyLines returns the addresses of all dirty lines (test hook; order is
+// unspecified).
+func (c *LLC) DirtyLines() []int64 {
+	var out []int64
+	for a, l := range c.lines {
+		if l.dirty {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// WCBuffer is one thread's write-combining buffer set for non-temporal
+// stores: partially-filled 64 B lines awaiting completion or a fence.
+type WCBuffer struct {
+	pending map[int64]*wcLine
+	order   []int64
+}
+
+type wcLine struct {
+	mask uint64 // bitmask of written bytes
+	data []byte
+}
+
+// NewWCBuffer returns an empty write-combining buffer.
+func NewWCBuffer() *WCBuffer {
+	return &WCBuffer{pending: make(map[int64]*wcLine)}
+}
+
+// fullMask is the mask of a completely written 64 B line.
+const fullMask = ^uint64(0)
+
+// Write records sub-line non-temporal stores. It returns the line address
+// and data if the line is now complete and must be posted, with ok=true.
+// Complete 64 B stores should bypass the buffer entirely.
+func (w *WCBuffer) Write(addr int64, data []byte) (flushAddr int64, flushData []byte, ok bool) {
+	lineAddr := mem.LineAddr(addr)
+	off := int(addr - lineAddr)
+	l := w.pending[lineAddr]
+	if l == nil {
+		l = &wcLine{data: make([]byte, mem.CacheLine)}
+		w.pending[lineAddr] = l
+		w.order = append(w.order, lineAddr)
+	}
+	n := len(data)
+	if data != nil {
+		copy(l.data[off:], data)
+	}
+	for i := 0; i < n; i++ {
+		l.mask |= 1 << uint(off+i)
+	}
+	if l.mask == fullMask {
+		delete(w.pending, lineAddr)
+		w.dropOrder(lineAddr)
+		return lineAddr, l.data, true
+	}
+	return 0, nil, false
+}
+
+func (w *WCBuffer) dropOrder(addr int64) {
+	for i, a := range w.order {
+		if a == addr {
+			w.order = append(w.order[:i], w.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// Flush drains all partial lines in fill order (an sfence does this),
+// invoking post for each.
+func (w *WCBuffer) Flush(post func(addr int64, data []byte, mask uint64)) {
+	for _, addr := range w.order {
+		l := w.pending[addr]
+		post(addr, l.data, l.mask)
+		delete(w.pending, addr)
+	}
+	w.order = w.order[:0]
+}
+
+// Drop discards all partial lines (crash semantics). Returns the count lost.
+func (w *WCBuffer) Drop() int {
+	n := len(w.pending)
+	w.pending = make(map[int64]*wcLine)
+	w.order = w.order[:0]
+	return n
+}
+
+// Pending returns the number of partially-filled lines.
+func (w *WCBuffer) Pending() int { return len(w.pending) }

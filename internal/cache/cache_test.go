@@ -1,0 +1,233 @@
+package cache
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"optanestudy/internal/mem"
+	"optanestudy/internal/sim"
+)
+
+func small(lines int) *LLC {
+	cfg := DefaultConfig()
+	cfg.Lines = lines
+	return New(cfg)
+}
+
+func TestLLCInsertProbe(t *testing.T) {
+	c := small(16)
+	if c.Present(0) {
+		t.Fatal("empty cache claims presence")
+	}
+	if _, ev := c.Insert(0); ev {
+		t.Fatal("eviction from empty cache")
+	}
+	if !c.Present(0) || c.Dirty(0) {
+		t.Fatal("inserted line missing or dirty")
+	}
+	// Duplicate insert is a no-op.
+	if _, ev := c.Insert(0); ev {
+		t.Fatal("duplicate insert evicted")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestLLCCapacityEviction(t *testing.T) {
+	c := small(16)
+	evictions := 0
+	for i := int64(0); i < 64; i++ {
+		if _, ev := c.Insert(i * mem.CacheLine); ev {
+			evictions++
+		}
+	}
+	if c.Len() != 16 {
+		t.Fatalf("len = %d, want capacity 16", c.Len())
+	}
+	if evictions != 48 {
+		t.Fatalf("evictions = %d, want 48", evictions)
+	}
+}
+
+func TestLLCDirtyVictimCarriesData(t *testing.T) {
+	c := small(16)
+	payload := bytes.Repeat([]byte{0xAB}, 16)
+	c.MarkDirty(0, 8, payload)
+	// Fill to force eviction of line 0 eventually.
+	sawDirtyVictim := false
+	for i := int64(1); i < 200; i++ {
+		v, ev := c.Insert(i * mem.CacheLine)
+		if ev && v.Addr == 0 {
+			if !v.Dirty {
+				t.Fatal("line 0 evicted clean")
+			}
+			if !bytes.Equal(v.Data[8:24], payload) {
+				t.Fatal("victim data lost")
+			}
+			sawDirtyVictim = true
+			break
+		}
+	}
+	if !sawDirtyVictim {
+		t.Fatal("dirty line never evicted (random replacement should hit it)")
+	}
+}
+
+func TestLLCWriteBack(t *testing.T) {
+	c := small(16)
+	c.MarkDirty(64, 0, []byte{1, 2, 3})
+	data, mask, dirty := c.WriteBack(64)
+	if !dirty || data[0] != 1 {
+		t.Fatal("writeback lost data")
+	}
+	if mask != 0b111 {
+		t.Fatalf("mask = %b, want low 3 bits", mask)
+	}
+	if c.Dirty(64) {
+		t.Fatal("line still dirty after writeback")
+	}
+	if !c.Present(64) {
+		t.Fatal("clwb must keep the line resident")
+	}
+	if _, _, dirty := c.WriteBack(64); dirty {
+		t.Fatal("second writeback of clean line")
+	}
+	// After write-back, durable data is authoritative: overlay dropped.
+	if d, _ := c.Data(64); d != nil {
+		t.Fatal("overlay kept after writeback")
+	}
+}
+
+func TestLLCEvict(t *testing.T) {
+	c := small(16)
+	c.MarkDirty(128, 2, []byte{9})
+	data, mask, dirty := c.Evict(128)
+	if !dirty || data[2] != 9 {
+		t.Fatal("evict lost data")
+	}
+	if mask != 1<<2 {
+		t.Fatalf("mask = %b", mask)
+	}
+	if c.Present(128) {
+		t.Fatal("clflush must remove the line")
+	}
+	if _, _, dirty := c.Evict(128); dirty {
+		t.Fatal("double evict reported dirty")
+	}
+}
+
+func TestLLCDropAll(t *testing.T) {
+	c := small(32)
+	for i := int64(0); i < 10; i++ {
+		c.MarkDirty(i*mem.CacheLine, 0, nil)
+	}
+	c.Insert(10 * mem.CacheLine)
+	if lost := c.DropAll(); lost != 10 {
+		t.Fatalf("lost = %d, want 10 dirty lines", lost)
+	}
+	if c.Len() != 0 {
+		t.Fatal("cache not empty after crash")
+	}
+}
+
+// Property: the key index stays consistent with the line map under random
+// operations, and capacity is never exceeded.
+func TestLLCIndexInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		c := small(32)
+		r := sim.NewRNG(seed)
+		for i := 0; i < 2000; i++ {
+			addr := r.Int63n(128) * mem.CacheLine
+			switch r.Intn(4) {
+			case 0:
+				c.Insert(addr)
+			case 1:
+				c.MarkDirty(addr, 0, nil)
+			case 2:
+				c.WriteBack(addr)
+			case 3:
+				c.Evict(addr)
+			}
+			if c.Len() > 32 || len(c.keys) != c.Len() || len(c.pos) != c.Len() {
+				return false
+			}
+		}
+		for i, k := range c.keys {
+			if c.pos[k] != i || !c.Present(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWCBufferCompletesLine(t *testing.T) {
+	w := NewWCBuffer()
+	_, _, ok := w.Write(0, make([]byte, 32))
+	if ok {
+		t.Fatal("half-filled line flushed early")
+	}
+	addr, data, ok := w.Write(32, bytes.Repeat([]byte{7}, 32))
+	if !ok || addr != 0 {
+		t.Fatal("completed line not flushed")
+	}
+	if data[32] != 7 || len(data) != 64 {
+		t.Fatal("flushed data wrong")
+	}
+	if w.Pending() != 0 {
+		t.Fatal("pending after flush")
+	}
+}
+
+func TestWCBufferFenceFlush(t *testing.T) {
+	w := NewWCBuffer()
+	w.Write(0, make([]byte, 8))
+	w.Write(128, make([]byte, 8))
+	var flushed []int64
+	w.Flush(func(addr int64, data []byte, mask uint64) {
+		flushed = append(flushed, addr)
+		if mask == fullMask {
+			t.Error("partial line reported full mask")
+		}
+	})
+	if len(flushed) != 2 || flushed[0] != 0 || flushed[1] != 128 {
+		t.Fatalf("flush order = %v", flushed)
+	}
+	if w.Pending() != 0 {
+		t.Fatal("pending after fence")
+	}
+}
+
+func TestWCBufferDrop(t *testing.T) {
+	w := NewWCBuffer()
+	w.Write(0, make([]byte, 8))
+	w.Write(64, make([]byte, 8))
+	if n := w.Drop(); n != 2 {
+		t.Fatalf("dropped = %d", n)
+	}
+	if w.Pending() != 0 {
+		t.Fatal("pending after drop")
+	}
+}
+
+func TestWCBufferUnalignedSpans(t *testing.T) {
+	w := NewWCBuffer()
+	// Bytes 60..63 of line 0 — mask bits 60-63.
+	_, _, ok := w.Write(60, []byte{1, 2, 3, 4})
+	if ok {
+		t.Fatal("partial flush")
+	}
+	// Complete the rest of line 0.
+	addr, data, ok := w.Write(0, make([]byte, 60))
+	if !ok || addr != 0 {
+		t.Fatal("line not completed")
+	}
+	if data[60] != 1 || data[63] != 4 {
+		t.Fatal("tail bytes lost")
+	}
+}

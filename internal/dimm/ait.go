@@ -1,0 +1,37 @@
+package dimm
+
+// AIT is the address indirection table the XPController uses for wear
+// leveling and bad-block management (Section 2.1.1). Logical XPLine
+// addresses translate to physical line ids; a wear-leveling migration
+// remaps a logical line to a fresh physical line.
+//
+// Translation is identity until the first remap, so the table stays sparse.
+type AIT struct {
+	remapped map[int64]int64 // logical line -> physical line id
+	nextFree int64           // physical line id allocator (above address space)
+}
+
+// NewAIT returns an empty (identity) table.
+func NewAIT() *AIT {
+	return &AIT{remapped: make(map[int64]int64), nextFree: 1 << 50}
+}
+
+// Translate returns the physical line id backing a logical XPLine address.
+func (a *AIT) Translate(line int64) int64 {
+	if p, ok := a.remapped[line]; ok {
+		return p
+	}
+	return line
+}
+
+// Remap migrates a logical line to a fresh physical line and returns the
+// new physical id.
+func (a *AIT) Remap(line int64) int64 {
+	p := a.nextFree
+	a.nextFree++
+	a.remapped[line] = p
+	return p
+}
+
+// Remaps returns how many lines have been migrated at least once.
+func (a *AIT) Remaps() int { return len(a.remapped) }

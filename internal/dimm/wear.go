@@ -1,0 +1,70 @@
+package dimm
+
+import (
+	"math"
+
+	"optanestudy/internal/sim"
+)
+
+// wearModel produces the paper's Figure 3 tail-latency outliers: rare
+// ~50 µs stalls attributed to wear-leveling / thermal remapping of heavily
+// written lines.
+//
+// Each physical XPLine has a leaky bucket charged once per media write and
+// decaying exponentially. Migration probability ramps linearly with bucket
+// fill up to PMax at Threshold. A tiny (256 B) hotspot keeps one bucket
+// saturated and sees outliers at rate ~PMax; spreading the same write rate
+// over a larger region divides each line's fill level and the outliers fade
+// smoothly, matching the measured 99.99%/99.999%/Max curves.
+type wearModel struct {
+	cfg     WearConfig
+	buckets map[int64]*wearBucket
+}
+
+type wearBucket struct {
+	level float64
+	last  sim.Time
+}
+
+func newWearModel(cfg WearConfig) *wearModel {
+	return &wearModel{cfg: cfg, buckets: make(map[int64]*wearBucket)}
+}
+
+// onWrite charges the bucket for physical line `phys` at time t and decides
+// whether this write triggers a migration. It returns the media stall to
+// apply and whether a migration occurred.
+func (w *wearModel) onWrite(t sim.Time, phys int64, rng *sim.RNG) (sim.Time, bool) {
+	if !w.cfg.Enabled {
+		return 0, false
+	}
+	b := w.buckets[phys]
+	if b == nil {
+		b = &wearBucket{last: t}
+		w.buckets[phys] = b
+	}
+	if t > b.last {
+		halves := float64(t-b.last) / float64(w.cfg.HalfLife)
+		b.level *= math.Exp2(-halves)
+		b.last = t
+	}
+	b.level++
+	fill := b.level / w.cfg.Threshold
+	if fill > 1 {
+		fill = 1
+		b.level = w.cfg.Threshold // cap so cooling is bounded
+	}
+	if !rng.Bool(w.cfg.PMax * fill) {
+		return 0, false
+	}
+	// Migration: reset the (new) line's wear and stall the media.
+	b.level = 0
+	span := w.cfg.StallMax - w.cfg.StallMin
+	stall := w.cfg.StallMin
+	if span > 0 {
+		stall += sim.Time(rng.Int63n(int64(span)))
+	}
+	return stall, true
+}
+
+// tracked reports how many buckets exist (test hook).
+func (w *wearModel) tracked() int { return len(w.buckets) }

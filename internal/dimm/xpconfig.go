@@ -1,0 +1,97 @@
+package dimm
+
+import "optanestudy/internal/sim"
+
+// XPConfig holds the timing and structural parameters of one 3D XPoint
+// DIMM. Defaults are calibrated so the assembled platform reproduces the
+// paper's Figure 2 latencies and Section 3.4 bandwidths (see DESIGN.md).
+type XPConfig struct {
+	// CtrlTime is the XPController processing time added to every access
+	// (buffer lookup, DDR-T handshake).
+	CtrlTime sim.Time
+	// MediaReadLatency is the 3D XPoint array access latency added to a
+	// read miss, beyond the occupancy below.
+	MediaReadLatency sim.Time
+	// MediaReadOccupancy is the media service time per XPLine read; its
+	// reciprocal bounds per-DIMM read bandwidth (~256 B / 36 ns ≈ 7 GB/s).
+	MediaReadOccupancy sim.Time
+	// MediaWriteOccupancy is the media service time per XPLine write
+	// (~256 B / 100 ns ≈ 2.5 GB/s).
+	MediaWriteOccupancy sim.Time
+	// Turnaround is the extra media service time when switching between
+	// reads and writes (DDR-T/media pipeline drain).
+	Turnaround sim.Time
+	// IngestTime is the controller time to accept one 64 B write into the
+	// XPBuffer.
+	IngestTime sim.Time
+
+	// BufferLines is the XPBuffer capacity in 256 B XPLines (64 → 16 KB,
+	// the capacity the paper infers in Figure 10).
+	BufferLines int
+	// StreamEngines is the number of write streams the controller can
+	// combine without loss. Beyond it, partial lines are probabilistically
+	// closed early (the Section 5.3 multi-writer EWR collapse). This is a
+	// phenomenological knob; see DESIGN.md.
+	StreamEngines int
+	// StreamPressure scales the early-close probability.
+	StreamPressure float64
+	// StreamWindow is the number of recent 64 B writes over which
+	// concurrent streams are counted.
+	StreamWindow int
+
+	// Wear configures the wear-leveling remap model behind the paper's
+	// tail-latency outliers (Figure 3).
+	Wear WearConfig
+
+	// Seed feeds the DIMM's private RNG.
+	Seed uint64
+}
+
+// DefaultXPConfig returns the calibrated 3D XPoint DIMM parameters.
+func DefaultXPConfig() XPConfig {
+	return XPConfig{
+		CtrlTime:            64 * sim.Nanosecond,
+		MediaReadLatency:    145 * sim.Nanosecond,
+		MediaReadOccupancy:  36 * sim.Nanosecond,
+		MediaWriteOccupancy: 100 * sim.Nanosecond,
+		Turnaround:          20 * sim.Nanosecond,
+		IngestTime:          2 * sim.Nanosecond,
+		BufferLines:         64,
+		StreamEngines:       2,
+		StreamPressure:      1.0,
+		StreamWindow:        128,
+		Wear:                DefaultWearConfig(),
+		Seed:                0x0C7A9E,
+	}
+}
+
+// WearConfig parameterizes wear-leveling migrations. Each media write to an
+// XPLine charges a leaky bucket; the fuller the bucket, the more likely the
+// controller migrates the line, stalling the media for tens of
+// microseconds. Hot small regions therefore see rare ~50 µs outliers that
+// fade as the working set grows, matching Figure 3.
+type WearConfig struct {
+	Enabled bool
+	// Threshold is the bucket level at which migration probability
+	// saturates at PMax.
+	Threshold float64
+	// HalfLife is the bucket's exponential-decay half life.
+	HalfLife sim.Time
+	// PMax is the per-write migration probability at or above Threshold.
+	PMax float64
+	// StallMin and StallMax bound the media stall of one migration.
+	StallMin sim.Time
+	StallMax sim.Time
+}
+
+// DefaultWearConfig returns the calibrated wear model.
+func DefaultWearConfig() WearConfig {
+	return WearConfig{
+		Enabled:   true,
+		Threshold: 512,
+		HalfLife:  500 * sim.Microsecond,
+		PMax:      8e-4,
+		StallMin:  30 * sim.Microsecond,
+		StallMax:  80 * sim.Microsecond,
+	}
+}

@@ -1,0 +1,311 @@
+package figures
+
+import (
+	"fmt"
+
+	"optanestudy/internal/lattester"
+	"optanestudy/internal/sim"
+	"optanestudy/internal/stats"
+	"optanestudy/internal/workload"
+)
+
+var threeOps = []lattester.Op{lattester.OpRead, lattester.OpNTStore, lattester.OpStoreCLWB}
+
+func opLabel(op lattester.Op) string {
+	switch op {
+	case lattester.OpRead:
+		return "Read"
+	case lattester.OpNTStore:
+		return "Write(ntstore)"
+	case lattester.OpStoreCLWB:
+		return "Write(clwb)"
+	default:
+		return op.String()
+	}
+}
+
+// Fig4 reproduces "Bandwidth vs. thread count": sequential 256 B accesses
+// on DRAM, Optane-NI and Optane as thread count rises.
+func Fig4(q Quality) []stats.Figure {
+	threads := []int{1, 2, 4, 8, 12, 16, 20, 24}
+	if q == Quick {
+		threads = []int{1, 2, 4, 8, 16, 24}
+	}
+	var out []stats.Figure
+	for _, system := range []string{"DRAM", "Optane-NI", "Optane"} {
+		fig := stats.Figure{
+			ID:     "fig4-" + system,
+			Title:  fmt.Sprintf("Bandwidth vs thread count (%s)", system),
+			XLabel: "threads",
+			YLabel: "bandwidth (GB/s)",
+		}
+		for _, op := range threeOps {
+			s := stats.Series{Name: opLabel(op)}
+			for _, th := range threads {
+				ns := nsFor(testbed(false), system)
+				res := lattester.Run(lattester.Spec{
+					NS: ns, Op: op, Pattern: patSeq, AccessSize: 256,
+					Threads: th, Duration: q.dur(200 * sim.Microsecond),
+				})
+				s.Add(float64(th), res.GBs)
+			}
+			fig.Series = append(fig.Series, s)
+		}
+		out = append(out, fig)
+	}
+	return out
+}
+
+// Fig5 reproduces "Bandwidth over access size": random accesses at the
+// paper's best-performing thread counts per system
+// (DRAM 24/24/24, Optane-NI 4/1/2, Optane 16/4/12).
+func Fig5(q Quality) []stats.Figure {
+	sizes := []int{64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 2 << 20}
+	if q == Quick {
+		sizes = []int{64, 256, 4 << 10, 64 << 10}
+	}
+	bestThreads := map[string][3]int{
+		"DRAM":      {24, 24, 24},
+		"Optane-NI": {4, 1, 2},
+		"Optane":    {16, 4, 12},
+	}
+	var out []stats.Figure
+	for _, system := range []string{"DRAM", "Optane-NI", "Optane"} {
+		tc := bestThreads[system]
+		fig := stats.Figure{
+			ID:     "fig5-" + system,
+			Title:  fmt.Sprintf("Bandwidth over access size (%s %d/%d/%d)", system, tc[0], tc[1], tc[2]),
+			XLabel: "access size (bytes)",
+			YLabel: "bandwidth (GB/s)",
+		}
+		for i, op := range threeOps {
+			s := stats.Series{Name: opLabel(op)}
+			for _, size := range sizes {
+				ns := nsFor(testbed(false), system)
+				res := lattester.Run(lattester.Spec{
+					NS: ns, Op: op, Pattern: patRand, AccessSize: size,
+					Threads: tc[i], Duration: q.dur(200 * sim.Microsecond),
+				})
+				s.Add(float64(size), res.GBs)
+			}
+			fig.Series = append(fig.Series, s)
+		}
+		out = append(out, fig)
+	}
+	return out
+}
+
+// Fig9 reproduces "Relationship between EWR and throughput on a single
+// DIMM": the systematic sweep's scatter with per-instruction least-squares
+// fits.
+func Fig9(q Quality) []stats.Figure {
+	sc := lattester.DefaultSweepConfig()
+	if q == Quick {
+		sc.AccessSizes = []int{64, 256, 1024}
+		sc.Threads = []int{1, 4, 8}
+		sc.Duration = 60 * sim.Microsecond
+	}
+	points := lattester.Sweep(sc)
+	fig := stats.Figure{
+		ID:     "fig9",
+		Title:  "EWR vs device bandwidth (single DIMM)",
+		XLabel: "EWR",
+		YLabel: "bandwidth (GB/s)",
+	}
+	notes := ""
+	for _, op := range []lattester.Op{lattester.OpNTStore, lattester.OpStore, lattester.OpStoreCLWB} {
+		s := stats.Series{Name: op.String()}
+		for _, pt := range points {
+			if pt.Op == op {
+				s.Add(pt.EWR, pt.GBs)
+			}
+		}
+		fit := lattester.CorrelateEWR(points, op)
+		notes += fmt.Sprintf("%s: r2=%.2f slope=%.2f; ", op, fit.R2(), fit.Slope())
+		fig.Series = append(fig.Series, s)
+	}
+	fig.Notes = notes
+	return []stats.Figure{fig}
+}
+
+// Fig10 reproduces "Inferring XPBuffer capacity": write amplification of
+// the two-pass half-line workload versus region size.
+func Fig10(q Quality) []stats.Figure {
+	regions := []int64{64, 512, 4 << 10, 8 << 10, 16 << 10, 24 << 10, 32 << 10, 256 << 10, 2 << 20}
+	if q == Quick {
+		regions = []int64{4 << 10, 16 << 10, 32 << 10, 256 << 10}
+	}
+	fig := stats.Figure{
+		ID:     "fig10",
+		Title:  "XPBuffer capacity probe",
+		XLabel: "region size (bytes)",
+		YLabel: "write amplification",
+		Series: []stats.Series{{Name: "WA"}},
+	}
+	for _, region := range regions {
+		lines := region / 256
+		if lines < 1 {
+			lines = 1
+		}
+		_, ns := lattester.NewNIPlatform(false)
+		wa := lattester.RegionProbe(ns, lines, 3)
+		fig.Series[0].Add(float64(region), wa)
+	}
+	return []stats.Figure{fig}
+}
+
+// Fig13 reproduces "Performance achievable with persistence instructions":
+// sequential-write bandwidth (6 threads) and single-thread latency across
+// access sizes for ntstore, store+clwb and bare store.
+func Fig13(q Quality) []stats.Figure {
+	sizes := []int{64, 128, 256, 512, 1 << 10, 2 << 10, 4 << 10}
+	if q == Quick {
+		sizes = []int{64, 256, 1 << 10, 4 << 10}
+	}
+	bw := stats.Figure{
+		ID: "fig13-bw", Title: "Bandwidth (6 threads, sequential)",
+		XLabel: "access size (bytes)", YLabel: "bandwidth (GB/s)",
+	}
+	for _, op := range []lattester.Op{lattester.OpNTStore, lattester.OpStoreCLWB, lattester.OpStore} {
+		s := stats.Series{Name: op.String()}
+		for _, size := range sizes {
+			ns := nsFor(testbed(false), "Optane")
+			res := lattester.Run(lattester.Spec{
+				NS: ns, Op: op, Pattern: patSeq, AccessSize: size, Threads: 6,
+				FencePerLine: op == lattester.OpStoreCLWB,
+				Duration:     q.dur(200 * sim.Microsecond),
+			})
+			s.Add(float64(size), res.GBs)
+		}
+		bw.Series = append(bw.Series, s)
+	}
+
+	lat := stats.Figure{
+		ID: "fig13-lat", Title: "Latency of persistence instructions",
+		XLabel: "access size (bytes)", YLabel: "latency (ns)",
+	}
+	for _, op := range []lattester.Op{lattester.OpNTStore, lattester.OpStoreCLWB} {
+		s := stats.Series{Name: op.String()}
+		for _, size := range sizes {
+			ns := nsFor(testbed(false), "Optane")
+			res := lattester.Run(lattester.Spec{
+				NS: ns, Op: op, Pattern: patSeq, AccessSize: size, Threads: 1,
+				RecordLatency: true, Duration: q.dur(100 * sim.Microsecond),
+			})
+			s.Add(float64(size), res.Latency.Mean())
+		}
+		lat.Series = append(lat.Series, s)
+	}
+	return []stats.Figure{bw, lat}
+}
+
+// Fig14 reproduces "Bandwidth over sfence intervals" on a single DIMM.
+func Fig14(q Quality) []stats.Figure {
+	sizes := []int{64, 256, 1 << 10, 4 << 10, 64 << 10, 256 << 10, 1 << 20, 16 << 20}
+	if q == Quick {
+		sizes = []int{64, 256, 4 << 10, 256 << 10}
+	}
+	fig := stats.Figure{
+		ID:     "fig14",
+		Title:  "Bandwidth over sfence interval (single DIMM, 1 thread)",
+		XLabel: "sfence interval / write size (bytes)",
+		YLabel: "bandwidth (GB/s)",
+	}
+	for _, mode := range []lattester.SfenceMode{lattester.CLWBEveryLine, lattester.CLWBAfterWrite, lattester.NTStoreMode} {
+		s := stats.Series{Name: mode.String()}
+		for _, size := range sizes {
+			_, ns := lattester.NewNIPlatform(false)
+			total := int64(12 << 20)
+			if q == Quick {
+				total = 4 << 20
+			}
+			if total < int64(size)*2 {
+				total = int64(size) * 2
+			}
+			gbs := lattester.SfenceInterval(lattester.SfenceIntervalSpec{
+				NS: ns, WriteSize: size, Mode: mode, Total: total,
+			})
+			s.Add(float64(size), gbs)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return []stats.Figure{fig}
+}
+
+// Fig16 reproduces "Plotting iMC contention": a fixed thread pool spreads
+// accesses over N DIMMs each; bandwidth falls as N rises.
+func Fig16(q Quality) []stats.Figure {
+	sizes := []int{64, 256, 1 << 10, 4 << 10}
+	spreads := []int{1, 2, 3, 6}
+	read := stats.Figure{
+		ID: "fig16-read", Title: "iMC contention: read (24 threads)",
+		XLabel: "access size (bytes)", YLabel: "bandwidth (GB/s)",
+	}
+	write := stats.Figure{
+		ID: "fig16-write", Title: "iMC contention: ntstore (6 threads)",
+		XLabel: "access size (bytes)", YLabel: "bandwidth (GB/s)",
+	}
+	for _, n := range spreads {
+		rs := stats.Series{Name: fmt.Sprintf("%d Threads", n)}
+		ws := stats.Series{Name: fmt.Sprintf("%d Threads", n)}
+		for _, size := range sizes {
+			{
+				ns := nsFor(testbed(false), "Optane")
+				gbs := lattester.Spread(lattester.SpreadSpec{
+					NS: ns, Threads: 24, DIMMsEach: n, AccessSize: size,
+					Write: false, Duration: q.dur(200 * sim.Microsecond), Seed: 11,
+				})
+				rs.Add(float64(size), gbs)
+			}
+			{
+				ns := nsFor(testbed(false), "Optane")
+				gbs := lattester.Spread(lattester.SpreadSpec{
+					NS: ns, Threads: 6, DIMMsEach: n, AccessSize: size,
+					Write: true, Duration: q.dur(200 * sim.Microsecond), Seed: 13,
+				})
+				ws.Add(float64(size), gbs)
+			}
+		}
+		read.Series = append(read.Series, rs)
+		write.Series = append(write.Series, ws)
+	}
+	return []stats.Figure{read, write}
+}
+
+// Fig18 reproduces "Memory bandwidth on Optane and Optane-Remote" across
+// read/write mixes for one and four threads.
+func Fig18(q Quality) []stats.Figure {
+	mixes := []*workload.Mix{
+		workload.NewMix(1, 0), workload.NewMix(4, 1), workload.NewMix(3, 1),
+		workload.NewMix(2, 1), workload.NewMix(1, 1), workload.NewMix(0, 1),
+	}
+	fig := stats.Figure{
+		ID:     "fig18",
+		Title:  "Bandwidth by R/W mix, local vs remote Optane",
+		XLabel: "mix index (R, 4:1, 3:1, 2:1, 1:1, W)",
+		YLabel: "bandwidth (GB/s)",
+	}
+	for _, conf := range []struct {
+		name    string
+		socket  int
+		threads int
+	}{
+		{"Optane-1", 0, 1},
+		{"Optane-Remote-1", 1, 1},
+		{"Optane-4", 0, 4},
+		{"Optane-Remote-4", 1, 4},
+	} {
+		s := stats.Series{Name: conf.name}
+		for i, m := range mixes {
+			ns := nsFor(testbed(false), "Optane")
+			res := lattester.Run(lattester.Spec{
+				NS: ns, Socket: conf.socket, Pattern: patSeq, AccessSize: 256,
+				Threads: conf.threads, Mix: m,
+				Duration: q.dur(150 * sim.Microsecond),
+			})
+			s.Add(float64(i), res.GBs)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return []stats.Figure{fig}
+}

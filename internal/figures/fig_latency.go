@@ -1,0 +1,193 @@
+package figures
+
+import (
+	"fmt"
+
+	"optanestudy/internal/lattester"
+	"optanestudy/internal/sim"
+	"optanestudy/internal/stats"
+	"optanestudy/internal/workload"
+)
+
+// Fig2 reproduces "Best-case latency": random and sequential 8 B read
+// latency plus 64 B write latency via ntstore and store+clwb, for DRAM and
+// Optane. X positions: 0=read-seq, 1=read-rand, 2=write-ntstore,
+// 3=write-clwb. Standard deviations land in the Notes field (the paper's
+// error bars).
+func Fig2(q Quality) []stats.Figure {
+	type point struct {
+		op  lattester.Op
+		pat lattester.PatternKind
+	}
+	cases := []point{
+		{lattester.OpRead, lattester.Sequential},
+		{lattester.OpRead, lattester.Random},
+		{lattester.OpNTStore, lattester.Sequential},
+		{lattester.OpStoreCLWB, lattester.Sequential},
+	}
+	ops := q.ops(10000)
+	fig := stats.Figure{
+		ID:     "fig2",
+		Title:  "Best-case latency (ns)",
+		XLabel: "op (0=read-seq 1=read-rand 2=ntstore 3=store+clwb)",
+		YLabel: "idle latency (ns)",
+	}
+	notes := ""
+	for _, system := range []string{"DRAM", "Optane"} {
+		s := stats.Series{Name: system}
+		for i, c := range cases {
+			p := testbed(false)
+			var nsp = mustNS(p.Optane("pm", 0, 1<<30))
+			if system == "DRAM" {
+				nsp = mustNS(p.DRAM("dram", 0, 1<<30))
+			}
+			sum := lattester.IdleLatency(lattester.IdleLatencySpec{
+				NS: nsp, Op: c.op, Pattern: c.pat, Ops: ops,
+			})
+			s.Add(float64(i), sum.Mean())
+			notes += fmt.Sprintf("%s[%d] std=%.1f ", system, i, sum.Std())
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	fig.Notes = notes
+	return []stats.Figure{fig}
+}
+
+// Fig3 reproduces "Tail latency": 99.99th, 99.999th and maximum write
+// latency (µs) as a function of hotspot size.
+func Fig3(q Quality) []stats.Figure {
+	hotspots := []int64{256, 2 << 10, 16 << 10, 128 << 10, 1 << 20, 8 << 20, 64 << 20}
+	ops := q.ops(1000000)
+	fig := stats.Figure{
+		ID:     "fig3",
+		Title:  "Tail latency over hotspot size",
+		XLabel: "hotspot (bytes)",
+		YLabel: "latency (us)",
+		Series: []stats.Series{{Name: "99.99%"}, {Name: "99.999%"}, {Name: "Max"}},
+	}
+	for _, h := range hotspots {
+		p := testbed(true) // wear-leveling outliers ON
+		ns := mustNS(p.Optane("pm", 0, 1<<30))
+		hist := lattester.TailLatency(lattester.TailSpec{NS: ns, Hotspot: h, Ops: ops})
+		fig.Series[0].Add(float64(h), hist.Percentile(0.9999)/1000)
+		fig.Series[1].Add(float64(h), hist.Percentile(0.99999)/1000)
+		fig.Series[2].Add(float64(h), hist.Max()/1000)
+	}
+	return []stats.Figure{fig}
+}
+
+// Fig6 reproduces "Memory latency and bandwidth under varying load": delay
+// injection sweeps load; each point is (achieved bandwidth, mean latency).
+// Panel 1 is reads (16 threads), panel 2 ntstores (4 threads).
+func Fig6(q Quality) []stats.Figure {
+	delays := []sim.Time{0, 100 * sim.Nanosecond, 300 * sim.Nanosecond,
+		sim.Microsecond, 3 * sim.Microsecond, 10 * sim.Microsecond, 80 * sim.Microsecond}
+	if q == Quick {
+		delays = []sim.Time{0, 300 * sim.Nanosecond, 3 * sim.Microsecond, 80 * sim.Microsecond}
+	}
+	read := stats.Figure{
+		ID: "fig6-read", Title: "Latency under load: read",
+		XLabel: "bandwidth (GB/s)", YLabel: "latency (ns)",
+	}
+	write := stats.Figure{
+		ID: "fig6-write", Title: "Latency under load: write (ntstore)",
+		XLabel: "bandwidth (GB/s)", YLabel: "latency (ns)",
+	}
+	for _, mediaName := range []string{"DRAM", "Optane"} {
+		for _, pat := range []lattester.PatternKind{patRand, patSeq} {
+			rs := stats.Series{Name: fmt.Sprintf("%s-%s", mediaName, patLabel(pat))}
+			ws := stats.Series{Name: fmt.Sprintf("%s-%s", mediaName, patLabel(pat))}
+			for _, d := range delays {
+				{
+					p := testbed(false)
+					ns := nsFor(p, mediaName)
+					res := lattester.Run(lattester.Spec{
+						NS: ns, Op: lattester.OpRead, Pattern: pat, AccessSize: 64,
+						Threads: 16, Delay: d, RecordLatency: true,
+						Duration: q.dur(200 * sim.Microsecond),
+					})
+					rs.Add(res.GBs, res.Latency.Mean())
+				}
+				{
+					p := testbed(false)
+					ns := nsFor(p, mediaName)
+					res := lattester.Run(lattester.Spec{
+						NS: ns, Op: lattester.OpNTStore, Pattern: pat, AccessSize: 64,
+						Threads: 4, Delay: d, RecordLatency: true,
+						Duration: q.dur(200 * sim.Microsecond),
+					})
+					ws.Add(res.GBs, res.Latency.Mean())
+				}
+			}
+			read.Series = append(read.Series, rs)
+			write.Series = append(write.Series, ws)
+		}
+	}
+	return []stats.Figure{read, write}
+}
+
+// Fig7 reproduces "Microbenchmarks under emulation": left, the sequential
+// write latency/bandwidth curve for each emulation; right, bandwidth by
+// read/write mix.
+func Fig7(q Quality) []stats.Figure {
+	systems := []string{"DRAM", "DRAM-Remote", "Optane", "PMEP"}
+	curve := stats.Figure{
+		ID: "fig7-latbw", Title: "Seq. write latency/BW under emulation",
+		XLabel: "bandwidth (GB/s)", YLabel: "latency (ns)",
+	}
+	delays := []sim.Time{0, 200 * sim.Nanosecond, sim.Microsecond, 10 * sim.Microsecond}
+	if q == Quick {
+		delays = []sim.Time{0, sim.Microsecond}
+	}
+	for _, sys := range systems {
+		s := stats.Series{Name: sys}
+		for _, d := range delays {
+			ns, socket := emulated(sys)
+			res := lattester.Run(lattester.Spec{
+				NS: ns, Socket: socket, Op: lattester.OpNTStore,
+				Pattern: patSeq, AccessSize: 64, Threads: 4, Delay: d,
+				RecordLatency: true, Duration: q.dur(150 * sim.Microsecond),
+			})
+			s.Add(res.GBs, res.Latency.Mean())
+		}
+		curve.Series = append(curve.Series, s)
+	}
+
+	mixes := []*workload.Mix{workload.NewMix(0, 1), workload.NewMix(1, 1), workload.NewMix(1, 0)}
+	mixLabels := []string{"All Wr.", "1:1 Wr.:Rd.", "All Rd."}
+	mixFig := stats.Figure{
+		ID: "fig7-mix", Title: "Bandwidth by thread mix under emulation",
+		XLabel: "mix (0=all-write 1=1:1 2=all-read)", YLabel: "bandwidth (GB/s)",
+		Notes: fmt.Sprint(mixLabels),
+	}
+	for _, sys := range systems {
+		s := stats.Series{Name: sys}
+		for i, m := range mixes {
+			ns, socket := emulated(sys)
+			res := lattester.Run(lattester.Spec{
+				NS: ns, Socket: socket, Pattern: patSeq, AccessSize: 256,
+				Threads: 8, Mix: m, Duration: q.dur(150 * sim.Microsecond),
+			})
+			s.Add(float64(i), res.GBs)
+		}
+		mixFig.Series = append(mixFig.Series, s)
+	}
+	return []stats.Figure{curve, mixFig}
+}
+
+// emulated builds the namespace (on a fresh platform) for one emulation
+// methodology, plus the socket its threads run on.
+func emulated(sys string) (*nsT, int) {
+	switch sys {
+	case "DRAM":
+		return mustNS(testbed(false).DRAM("pmem", 0, 1<<30)), 0
+	case "DRAM-Remote":
+		return mustNS(testbed(false).DRAM("pmem", 0, 1<<30)), 1
+	case "Optane":
+		return mustNS(testbed(false).Optane("pmem", 0, 1<<30)), 0
+	case "PMEP":
+		return mustNS(pmepPlatform().DRAM("pmem", 0, 1<<30)), 0
+	default:
+		panic("figures: unknown emulation " + sys)
+	}
+}

@@ -1,0 +1,129 @@
+// Package figures regenerates every data figure of the paper's evaluation
+// (Figures 2–19; Figures 1 and 11 are diagrams). Each runner builds fresh
+// simulated platforms, executes the paper's experiment, and returns the
+// series as stats.Figure values that cmd/figures renders and EXPERIMENTS.md
+// records.
+package figures
+
+import (
+	"optanestudy/internal/lattester"
+	"optanestudy/internal/platform"
+	"optanestudy/internal/sim"
+	"optanestudy/internal/stats"
+)
+
+// Quality trades fidelity for run time.
+type Quality int
+
+// Quality levels: Quick for tests, Full for the benchmark harness.
+const (
+	Quick Quality = iota
+	Full
+)
+
+func (q Quality) dur(full sim.Time) sim.Time {
+	if q == Quick {
+		return full / 4
+	}
+	return full
+}
+
+func (q Quality) ops(full int) int {
+	if q == Quick {
+		return full / 5
+	}
+	return full
+}
+
+// Runner couples a figure id with its generator.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(q Quality) []stats.Figure
+}
+
+// All returns every figure runner in paper order.
+func All() []Runner {
+	return []Runner{
+		{"fig2", "Best-case latency", Fig2},
+		{"fig3", "Tail latency vs hotspot size", Fig3},
+		{"fig4", "Bandwidth vs thread count", Fig4},
+		{"fig5", "Bandwidth vs access size", Fig5},
+		{"fig6", "Latency under load", Fig6},
+		{"fig7", "Microbenchmarks under emulation", Fig7},
+		{"fig8", "Migrating RocksDB to 3D XPoint memory", Fig8},
+		{"fig9", "EWR vs throughput on a single DIMM", Fig9},
+		{"fig10", "Inferring XPBuffer capacity", Fig10},
+		{"fig12", "File IO latency", Fig12},
+		{"fig13", "Performance of persistence instructions", Fig13},
+		{"fig14", "Bandwidth over sfence intervals", Fig14},
+		{"fig15", "Persistence instructions for micro-buffering", Fig15},
+		{"fig16", "iMC contention", Fig16},
+		{"fig17", "Multi-DIMM NOVA", Fig17},
+		{"fig18", "Bandwidth on Optane and Optane-Remote by R/W mix", Fig18},
+		{"fig19", "NUMA degradation for PMemKV", Fig19},
+	}
+}
+
+// Lookup returns the runner with the given id, or nil.
+func Lookup(id string) *Runner {
+	for _, r := range All() {
+		if r.ID == id {
+			r := r
+			return &r
+		}
+	}
+	return nil
+}
+
+// testbed builds a fresh calibrated platform. Wear-leveling outliers are
+// disabled except where a figure needs them (Figure 3), since rare 50 µs
+// stalls add noise to mean-bandwidth figures.
+func testbed(wear bool) *platform.Platform {
+	cfg := platform.DefaultConfig()
+	cfg.XP.Wear.Enabled = wear
+	return platform.MustNew(cfg)
+}
+
+// mustNS panics on namespace-creation failure (static specs in runners).
+func mustNS(ns *platform.Namespace, err error) *platform.Namespace {
+	if err != nil {
+		panic(err)
+	}
+	return ns
+}
+
+// nsT aliases the namespace type for brevity in runner signatures.
+type nsT = platform.Namespace
+
+// Pattern shorthands.
+const (
+	patSeq  = lattester.Sequential
+	patRand = lattester.Random
+)
+
+func patLabel(p lattester.PatternKind) string {
+	if p == patSeq {
+		return "Seq"
+	}
+	return "Rand"
+}
+
+// nsFor creates the standard namespace for a system label on a fresh
+// platform: "DRAM" or "Optane" (interleaved), or "Optane-NI".
+func nsFor(p *platform.Platform, system string) *platform.Namespace {
+	switch system {
+	case "DRAM":
+		return mustNS(p.DRAM("dram", 0, 1<<30))
+	case "Optane":
+		return mustNS(p.Optane("optane", 0, 2<<30))
+	case "Optane-NI":
+		return mustNS(p.OptaneNI("optane-ni", 0, 0, 1<<30))
+	default:
+		panic("figures: unknown system " + system)
+	}
+}
+
+func pmepPlatform() *platform.Platform {
+	return platform.MustNew(platform.PMEPConfig())
+}

@@ -1,0 +1,167 @@
+// Package fio is a flexible IO tester in the spirit of fio, driving any
+// vfs.FS with sequential/random read/write jobs across threads — the
+// workload generator behind Figures 12 and 17.
+package fio
+
+import (
+	"fmt"
+
+	"optanestudy/internal/platform"
+	"optanestudy/internal/sim"
+	"optanestudy/internal/vfs"
+	"optanestudy/internal/workload"
+)
+
+// RW selects the operation.
+type RW int
+
+// Operations.
+const (
+	Read RW = iota
+	Write
+)
+
+// Pattern selects the access pattern.
+type Pattern int
+
+// Patterns.
+const (
+	Seq Pattern = iota
+	Rand
+)
+
+// Spec configures one job.
+type Spec struct {
+	Platform *platform.Platform
+	FS       vfs.FS
+	// CreateFile overrides file creation (e.g. novafs zone pinning);
+	// nil uses FS.Create.
+	CreateFile func(ctx *platform.MemCtx, name string, thread int) (vfs.File, error)
+
+	Threads  int
+	FileSize int64
+	BS       int // block size per IO
+	RW       RW
+	Pattern  Pattern
+	// Sync issues fsync after every write (the sync IO engine); otherwise
+	// writes sync once per 32 IOs (libaio-style batching).
+	Sync       bool
+	OpsPerThrd int
+	Seed       uint64
+}
+
+// Result reports aggregate bandwidth.
+type Result struct {
+	Bytes   int64
+	Elapsed sim.Time
+	GBs     float64
+}
+
+// Run lays out one file per thread, then measures the IO phase.
+func Run(spec Spec) (Result, error) {
+	p := spec.Platform
+	if spec.Threads == 0 {
+		spec.Threads = 1
+	}
+	if spec.BS == 0 {
+		spec.BS = 4096
+	}
+	if spec.FileSize == 0 {
+		spec.FileSize = 1 << 20
+	}
+	if spec.OpsPerThrd == 0 {
+		spec.OpsPerThrd = 128
+	}
+	create := spec.CreateFile
+	if create == nil {
+		create = func(ctx *platform.MemCtx, name string, _ int) (vfs.File, error) {
+			return spec.FS.Create(ctx, name)
+		}
+	}
+
+	// Layout phase: create and fill each thread's file.
+	files := make([]vfs.File, spec.Threads)
+	errs := make([]error, spec.Threads)
+	for th := 0; th < spec.Threads; th++ {
+		th := th
+		p.Go(fmt.Sprintf("layout%d", th), 0, func(ctx *platform.MemCtx) {
+			f, err := create(ctx, fmt.Sprintf("fio.%d", th), th)
+			if err != nil {
+				errs[th] = err
+				return
+			}
+			chunk := make([]byte, 64<<10)
+			for off := int64(0); off < spec.FileSize; off += int64(len(chunk)) {
+				n := int64(len(chunk))
+				if off+n > spec.FileSize {
+					n = spec.FileSize - off
+				}
+				if err := f.WriteAt(ctx, off, chunk[:n]); err != nil {
+					errs[th] = err
+					return
+				}
+			}
+			if err := f.Sync(ctx); err != nil {
+				errs[th] = err
+				return
+			}
+			files[th] = f
+		})
+	}
+	p.Run()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	// IO phase.
+	start := p.Now()
+	var bytes int64
+	for th := 0; th < spec.Threads; th++ {
+		th := th
+		p.Go(fmt.Sprintf("io%d", th), 0, func(ctx *platform.MemCtx) {
+			f := files[th]
+			var pat workload.Pattern
+			if spec.Pattern == Seq {
+				pat = workload.NewSequential(spec.FileSize, spec.BS)
+			} else {
+				pat = workload.NewRandom(spec.FileSize, spec.BS, spec.Seed+uint64(th)*31+1)
+			}
+			buf := make([]byte, spec.BS)
+			for i := 0; i < spec.OpsPerThrd; i++ {
+				off := pat.Next()
+				switch spec.RW {
+				case Read:
+					if err := f.ReadAt(ctx, off, buf); err != nil {
+						errs[th] = err
+						return
+					}
+				case Write:
+					if err := f.WriteAt(ctx, off, buf); err != nil {
+						errs[th] = err
+						return
+					}
+					if spec.Sync || i%32 == 31 {
+						if err := f.Sync(ctx); err != nil {
+							errs[th] = err
+							return
+						}
+					}
+				}
+				bytes += int64(spec.BS)
+			}
+		})
+	}
+	end := p.Run()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	res := Result{Bytes: bytes, Elapsed: end - start}
+	if res.Elapsed > 0 {
+		res.GBs = float64(bytes) / res.Elapsed.Seconds() / 1e9
+	}
+	return res, nil
+}

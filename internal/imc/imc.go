@@ -1,0 +1,102 @@
+// Package imc models the processor's integrated memory controller: one
+// Channel per memory channel, each with a shared data bus and an
+// ADR-protected write pending queue (WPQ).
+//
+// Stores become persistent the moment they are accepted into the WPQ
+// (Section 2.1.1: the ADR domain includes the WPQs but not the caches), so
+// Channel.PostWrite returns both the acceptance time — what sfence waits
+// for — and the drain time at which the entry's slot frees.
+package imc
+
+import (
+	"optanestudy/internal/dimm"
+	"optanestudy/internal/sim"
+)
+
+// ChannelConfig holds per-channel timing and queue parameters.
+type ChannelConfig struct {
+	// BusTime is the data-bus occupancy of one 64 B transfer
+	// (≈3.5 ns → ~18 GB/s per channel).
+	BusTime sim.Time
+	// WPQEntries is the write pending queue capacity in 64 B entries.
+	WPQEntries int
+}
+
+// DefaultChannelConfig returns the calibrated channel parameters.
+func DefaultChannelConfig() ChannelConfig {
+	return ChannelConfig{
+		BusTime:    3500 * sim.Picosecond,
+		WPQEntries: 24,
+	}
+}
+
+// Channel is one memory channel: a bus shared by the DIMMs on it, plus a
+// WPQ per attached DIMM (the iMC maintains separate read/write pending
+// queues for each DIMM).
+type Channel struct {
+	cfg ChannelConfig
+	bus sim.Server
+
+	wpqs      map[dimm.DIMM]*wpqState
+	postCount int64
+}
+
+type wpqState struct {
+	q         *sim.BoundedQueue
+	lastDrain sim.Time
+}
+
+// NewChannel returns a channel with the given configuration.
+func NewChannel(cfg ChannelConfig) *Channel {
+	if cfg.WPQEntries < 1 {
+		cfg.WPQEntries = 1
+	}
+	return &Channel{cfg: cfg, wpqs: make(map[dimm.DIMM]*wpqState)}
+}
+
+func (c *Channel) wpq(d dimm.DIMM) *wpqState {
+	w := c.wpqs[d]
+	if w == nil {
+		w = &wpqState{q: sim.NewBoundedQueue(c.cfg.WPQEntries)}
+		c.wpqs[d] = w
+	}
+	return w
+}
+
+// Read performs a 64 B read of the given DIMM starting at time t and
+// returns the time the data arrives back at the iMC.
+func (c *Channel) Read(t sim.Time, d dimm.DIMM, addr int64) sim.Time {
+	ready := d.ReadLine(t, addr)
+	// The response occupies the shared channel bus.
+	_, end := c.bus.Acquire(ready, c.cfg.BusTime)
+	return end
+}
+
+// PostWrite enqueues a 64 B write. It returns the WPQ acceptance time (the
+// persistence point inside the ADR domain) and the drain time at which the
+// WPQ entry frees. The WPQ drains strictly in FIFO order, so one slow entry
+// head-of-line blocks everything behind it — the Section 5.3 effect.
+func (c *Channel) PostWrite(t sim.Time, d dimm.DIMM, addr int64) (accepted, drained sim.Time) {
+	w := c.wpq(d)
+	accepted = w.q.Admit(t)
+	_, busEnd := c.bus.Acquire(accepted, c.cfg.BusTime)
+	drained = d.WriteLine(busEnd, addr)
+	if drained < w.lastDrain {
+		drained = w.lastDrain // FIFO drain: no entry passes its predecessor
+	}
+	w.lastDrain = drained
+	w.q.Push(drained)
+	c.postCount++
+	return accepted, drained
+}
+
+// WPQOccupancy reports the queued entries for a DIMM at time t (test hook).
+func (c *Channel) WPQOccupancy(t sim.Time, d dimm.DIMM) int {
+	return c.wpq(d).q.Occupancy(t)
+}
+
+// Posts returns the number of writes posted on this channel.
+func (c *Channel) Posts() int64 { return c.postCount }
+
+// BusBusy returns cumulative bus occupancy (utilization accounting).
+func (c *Channel) BusBusy() sim.Time { return c.bus.BusyTime() }

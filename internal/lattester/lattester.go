@@ -1,0 +1,280 @@
+// Package lattester reimplements the paper's LATTester microbenchmark
+// toolkit (Section 3.1) on top of the simulated platform: idle latency,
+// tail latency, bandwidth under arbitrary op/pattern/size/thread
+// configurations, latency under load, EWR probes, and the systematic sweep
+// used for the EWR-vs-bandwidth correlation.
+//
+// Like the original (which ran as a kernel module on pre-populated,
+// pinned, prefetcher-disabled memory), kernels here access pre-created
+// namespaces directly with explicit persistence instructions.
+package lattester
+
+import (
+	"fmt"
+
+	"optanestudy/internal/dimm"
+	"optanestudy/internal/platform"
+	"optanestudy/internal/sim"
+	"optanestudy/internal/stats"
+	"optanestudy/internal/workload"
+)
+
+// Op selects the memory instruction sequence of a kernel.
+type Op int
+
+// Kernel operations. Writes are fenced once per access unless a spec says
+// otherwise.
+const (
+	// OpRead issues loads.
+	OpRead Op = iota
+	// OpNTStore issues non-temporal stores followed by sfence.
+	OpNTStore
+	// OpStoreCLWB issues cached stores, clwb per line, then sfence.
+	OpStoreCLWB
+	// OpStore issues cached stores with no flushes or fences (persistence
+	// left to cache evictions).
+	OpStore
+	// OpStoreCLFlushOpt issues cached stores with clflushopt + sfence.
+	OpStoreCLFlushOpt
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpNTStore:
+		return "ntstore"
+	case OpStoreCLWB:
+		return "store+clwb"
+	case OpStore:
+		return "store"
+	case OpStoreCLFlushOpt:
+		return "store+clflushopt"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// IsWrite reports whether the op writes memory.
+func (o Op) IsWrite() bool { return o != OpRead }
+
+// PatternKind selects the address pattern.
+type PatternKind int
+
+// Address patterns.
+const (
+	Sequential PatternKind = iota
+	Random
+)
+
+func (p PatternKind) String() string {
+	if p == Sequential {
+		return "seq"
+	}
+	return "rand"
+}
+
+// Spec configures one measurement.
+type Spec struct {
+	NS      *platform.Namespace
+	Socket  int // socket the threads run on; use NS.Socket for local
+	Op      Op
+	Pattern PatternKind
+	// AccessSize is the bytes per access (one fence interval for writes).
+	AccessSize int
+	Threads    int
+	// PerThreadRegion is each thread's private region (bytes); 0 picks
+	// NS.Size/Threads capped at 256 MB.
+	PerThreadRegion int64
+	// Duration is the measured window; total run is Warmup+Duration.
+	Duration sim.Time
+	Warmup   sim.Time
+	// Delay inserts idle time between accesses (latency-under-load).
+	Delay sim.Time
+	// Mix, when non-nil, interleaves reads and writes per its ratio and
+	// overrides Op (reads are loads, writes ntstore+sfence).
+	Mix *workload.Mix
+	// FencePerLine issues clwb after every 64 B store instead of after the
+	// whole access (Figure 14's "clwb every 64B" variant).
+	FencePerLine bool
+	// RecordLatency collects a per-access latency histogram.
+	RecordLatency bool
+	Seed          uint64
+}
+
+func (s *Spec) withDefaults() Spec {
+	out := *s
+	if out.AccessSize == 0 {
+		out.AccessSize = 256
+	}
+	if out.Threads == 0 {
+		out.Threads = 1
+	}
+	if out.Duration == 0 {
+		out.Duration = 200 * sim.Microsecond
+	}
+	if out.Warmup == 0 {
+		out.Warmup = out.Duration / 4
+	}
+	if out.PerThreadRegion == 0 {
+		out.PerThreadRegion = out.NS.Size / int64(out.Threads)
+		if out.PerThreadRegion > 256<<20 {
+			out.PerThreadRegion = 256 << 20
+		}
+	}
+	if out.PerThreadRegion < int64(out.AccessSize) {
+		out.PerThreadRegion = int64(out.AccessSize)
+	}
+	if out.Seed == 0 {
+		out.Seed = 0xBEEF
+	}
+	return out
+}
+
+// Result is the outcome of one measurement.
+type Result struct {
+	Spec    Spec
+	Bytes   int64    // bytes accessed inside the measured window
+	Elapsed sim.Time // measured window length
+	// GBs is the achieved bandwidth in decimal GB/s.
+	GBs float64
+	// Latency is per-access latency (ns) when requested.
+	Latency *stats.Histogram
+	// XP is the delta of 3D XPoint counters over the whole run (including
+	// warmup); EWR derives from it.
+	XP dimm.Counters
+}
+
+// EWR returns the effective write ratio observed during the run.
+func (r *Result) EWR() float64 { return r.XP.EWR() }
+
+// Run executes the measurement on the namespace's platform.
+func Run(spec Spec) Result {
+	s := spec.withDefaults()
+	p := s.NS.Platform()
+	before := p.NamespaceCounters(s.NS)
+
+	start := p.Now()
+	warmEnd := start + s.Warmup
+	deadline := warmEnd + s.Duration
+
+	var bytesTotal int64
+	var hist *stats.Histogram
+	if s.RecordLatency {
+		hist = stats.NewHistogram()
+	}
+
+	for th := 0; th < s.Threads; th++ {
+		th := th
+		p.Go(fmt.Sprintf("lat%d", th), s.Socket, func(ctx *platform.MemCtx) {
+			base := int64(th) * s.PerThreadRegion
+			if base+s.PerThreadRegion > s.NS.Size {
+				base = s.NS.Size - s.PerThreadRegion
+			}
+			pat := newPattern(s, th)
+			mix := cloneMix(s.Mix)
+			for ctx.Proc().Now() < deadline {
+				off := base + pat.Next()
+				opStart := ctx.Proc().Now()
+				doAccess(ctx, s, mix, off)
+				now := ctx.Proc().Now()
+				if now >= warmEnd {
+					bytesTotal += int64(s.AccessSize)
+					if hist != nil {
+						hist.Add((now - opStart).Nanoseconds())
+					}
+				}
+				if s.Delay > 0 {
+					ctx.Proc().Sleep(s.Delay)
+				}
+			}
+			if s.Op == OpRead || s.Mix != nil {
+				ctx.DrainLoads()
+			}
+		})
+	}
+	end := p.Run()
+	elapsed := end - warmEnd
+	if elapsed < s.Duration {
+		elapsed = s.Duration
+	}
+	res := Result{
+		Spec:    s,
+		Bytes:   bytesTotal,
+		Elapsed: elapsed,
+		XP:      p.NamespaceCounters(s.NS).Sub(before),
+		Latency: hist,
+	}
+	if elapsed > 0 {
+		res.GBs = float64(bytesTotal) / elapsed.Seconds() / 1e9
+	}
+	return res
+}
+
+func newPattern(s Spec, thread int) workload.Pattern {
+	if s.Pattern == Sequential {
+		return workload.NewSequential(s.PerThreadRegion, s.AccessSize)
+	}
+	return workload.NewRandom(s.PerThreadRegion, s.AccessSize, s.Seed+uint64(thread)*7331+1)
+}
+
+func cloneMix(m *workload.Mix) *workload.Mix {
+	if m == nil {
+		return nil
+	}
+	clone := *m
+	return &clone
+}
+
+// doAccess performs one access of the spec's size at off.
+func doAccess(ctx *platform.MemCtx, s Spec, mix *workload.Mix, off int64) {
+	ns := s.NS
+	size := s.AccessSize
+	if mix != nil {
+		if mix.NextIsRead() {
+			if s.RecordLatency {
+				ctx.Load(ns, off, size)
+			} else {
+				ctx.LoadStream(ns, off, size)
+			}
+		} else {
+			ctx.NTStore(ns, off, size, nil)
+			ctx.SFence()
+		}
+		return
+	}
+	switch s.Op {
+	case OpRead:
+		if s.RecordLatency {
+			ctx.Load(ns, off, size)
+		} else {
+			ctx.LoadStream(ns, off, size)
+		}
+	case OpNTStore:
+		ctx.NTStore(ns, off, size, nil)
+		ctx.SFence()
+	case OpStoreCLWB:
+		if s.FencePerLine {
+			for b := 0; b < size; b += 64 {
+				n := size - b
+				if n > 64 {
+					n = 64
+				}
+				ctx.Store(ns, off+int64(b), n, nil)
+				ctx.CLWB(ns, off+int64(b), n)
+			}
+		} else {
+			ctx.Store(ns, off, size, nil)
+			ctx.CLWB(ns, off, size)
+		}
+		ctx.SFence()
+	case OpStoreCLFlushOpt:
+		ctx.Store(ns, off, size, nil)
+		ctx.CLFlushOpt(ns, off, size)
+		ctx.SFence()
+	case OpStore:
+		ctx.Store(ns, off, size, nil)
+	default:
+		panic("lattester: unknown op")
+	}
+}

@@ -1,0 +1,199 @@
+package lattester
+
+import (
+	"optanestudy/internal/mem"
+	"optanestudy/internal/platform"
+	"optanestudy/internal/sim"
+	"optanestudy/internal/stats"
+)
+
+// IdleLatencySpec configures a best-case latency measurement (Figure 2):
+// one thread, fenced single operations, idle machine.
+type IdleLatencySpec struct {
+	NS     *platform.Namespace
+	Socket int
+	Op     Op
+	// Pattern applies to reads (sequential vs random 8 B loads at 64 B
+	// stride, as in LATTester).
+	Pattern PatternKind
+	Ops     int
+	Seed    uint64
+}
+
+// IdleLatency measures per-operation latency and returns the sample
+// distribution in nanoseconds.
+func IdleLatency(spec IdleLatencySpec) *stats.Summary {
+	ns := spec.NS
+	p := ns.Platform()
+	n := spec.Ops
+	if n == 0 {
+		n = 4000
+	}
+	region := ns.Size
+	if region > 512<<20 {
+		region = 512 << 20
+	}
+	var sum stats.Summary
+	p.Go("idlelat", spec.Socket, func(ctx *platform.MemCtx) {
+		r := sim.NewRNG(spec.Seed + 99)
+		for i := 0; i < n; i++ {
+			var off int64
+			if spec.Pattern == Sequential {
+				off = int64(i) * mem.CacheLine % region
+			} else {
+				off = r.Int63n(region/mem.CacheLine) * mem.CacheLine
+			}
+			start := ctx.Proc().Now()
+			switch spec.Op {
+			case OpRead:
+				ctx.Load(ns, off, 8)
+			case OpNTStore:
+				ctx.NTStore(ns, off, mem.CacheLine, nil)
+				ctx.SFence()
+			case OpStoreCLWB:
+				// The paper warms the line into the cache first.
+				ctx.Load(ns, off, 8)
+				start = ctx.Proc().Now()
+				ctx.Store(ns, off, mem.CacheLine, nil)
+				ctx.CLWB(ns, off, mem.CacheLine)
+				ctx.SFence()
+			default:
+				panic("lattester: unsupported idle-latency op")
+			}
+			sum.Add((ctx.Proc().Now() - start).Nanoseconds())
+		}
+	})
+	p.Run()
+	return &sum
+}
+
+// TailSpec configures the Figure 3 hotspot tail-latency experiment.
+type TailSpec struct {
+	NS      *platform.Namespace
+	Hotspot int64 // hotspot size in bytes
+	Ops     int
+	Seed    uint64
+}
+
+// TailLatency sequentially overwrites a hotspot with fenced 64 B ntstores
+// and returns the latency distribution (ns).
+func TailLatency(spec TailSpec) *stats.Histogram {
+	ns := spec.NS
+	p := ns.Platform()
+	n := spec.Ops
+	if n == 0 {
+		n = 200000
+	}
+	hist := stats.NewHistogram()
+	p.Go("tail", ns.Socket, func(ctx *platform.MemCtx) {
+		hot := spec.Hotspot
+		if hot < mem.CacheLine {
+			hot = mem.CacheLine
+		}
+		var off int64
+		for i := 0; i < n; i++ {
+			start := ctx.Proc().Now()
+			ctx.NTStore(ns, off, mem.CacheLine, nil)
+			ctx.SFence()
+			hist.Add((ctx.Proc().Now() - start).Nanoseconds())
+			off += mem.CacheLine
+			if off >= hot {
+				off = 0
+			}
+		}
+	})
+	p.Run()
+	return hist
+}
+
+// RegionProbe runs the Figure 10 XPBuffer-capacity experiment on an
+// (ideally non-interleaved) namespace: each round writes the first half of
+// every XPLine in an N-line region, then the second half. It returns the
+// observed write amplification.
+func RegionProbe(ns *platform.Namespace, lines int64, rounds int) float64 {
+	p := ns.Platform()
+	before := p.NamespaceCounters(ns)
+	p.Go("region", ns.Socket, func(ctx *platform.MemCtx) {
+		for r := 0; r < rounds; r++ {
+			for half := int64(0); half < 2; half++ {
+				for i := int64(0); i < lines; i++ {
+					off := i*mem.XPLine + half*(mem.XPLine/2)
+					ctx.NTStore(ns, off, mem.XPLine/2, nil)
+					ctx.SFence()
+				}
+			}
+		}
+	})
+	p.Run()
+	delta := p.NamespaceCounters(ns).Sub(before)
+	return delta.WriteAmplification()
+}
+
+// SfenceIntervalSpec configures the Figure 14 experiment: one thread
+// writing sequentially with a given write size per sfence, flushing either
+// per 64 B line or once per write.
+type SfenceIntervalSpec struct {
+	NS        *platform.Namespace
+	WriteSize int
+	Mode      SfenceMode
+	Total     int64 // total bytes; 0 picks a multiple of the write size
+}
+
+// SfenceMode selects the flush strategy of SfenceInterval.
+type SfenceMode int
+
+// Flush strategies for SfenceInterval.
+const (
+	CLWBEveryLine  SfenceMode = iota // clwb after every 64 B store
+	CLWBAfterWrite                   // clwb for the whole region after the write
+	NTStoreMode                      // non-temporal stores
+)
+
+func (m SfenceMode) String() string {
+	switch m {
+	case CLWBEveryLine:
+		return "clwb(every 64B)"
+	case CLWBAfterWrite:
+		return "clwb(write size)"
+	default:
+		return "ntstore"
+	}
+}
+
+// SfenceInterval returns the achieved bandwidth in GB/s.
+func SfenceInterval(spec SfenceIntervalSpec) float64 {
+	ns := spec.NS
+	p := ns.Platform()
+	size := spec.WriteSize
+	total := spec.Total
+	if total == 0 {
+		total = 24 << 20
+		if total < int64(size)*4 {
+			total = int64(size) * 4
+		}
+	}
+	if total > ns.Size {
+		total = ns.Size
+	}
+	start := p.Now()
+	p.Go("sfence", ns.Socket, func(ctx *platform.MemCtx) {
+		for off := int64(0); off+int64(size) <= total; off += int64(size) {
+			switch spec.Mode {
+			case CLWBEveryLine:
+				for b := 0; b < size; b += mem.CacheLine {
+					ctx.Store(ns, off+int64(b), mem.CacheLine, nil)
+					ctx.CLWB(ns, off+int64(b), mem.CacheLine)
+				}
+			case CLWBAfterWrite:
+				ctx.Store(ns, off, size, nil)
+				ctx.CLWB(ns, off, size)
+			case NTStoreMode:
+				ctx.NTStore(ns, off, size, nil)
+			}
+			ctx.SFence()
+		}
+	})
+	end := p.Run()
+	written := total / int64(size) * int64(size)
+	return float64(written) / (end - start).Seconds() / 1e9
+}

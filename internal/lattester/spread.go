@@ -1,0 +1,87 @@
+package lattester
+
+import (
+	"fmt"
+
+	"optanestudy/internal/mem"
+	"optanestudy/internal/platform"
+	"optanestudy/internal/sim"
+)
+
+// SpreadSpec configures the Figure 16 iMC-contention experiment: a fixed
+// pool of threads accesses an interleaved namespace, each thread confined
+// to a set of N DIMMs. As N grows, more writers target each DIMM and
+// head-of-line blocking in the WPQ drags bandwidth down.
+type SpreadSpec struct {
+	NS         *platform.Namespace
+	Threads    int
+	DIMMsEach  int // N: how many DIMMs each thread touches
+	AccessSize int // ≤ interleave granularity
+	Write      bool
+	Duration   sim.Time
+	Seed       uint64
+}
+
+// Spread returns aggregate bandwidth in GB/s.
+func Spread(spec SpreadSpec) float64 {
+	ns := spec.NS
+	p := ns.Platform()
+	ways := len(ns.Channels)
+	if spec.DIMMsEach < 1 || spec.DIMMsEach > ways {
+		panic("lattester: DIMMsEach out of range")
+	}
+	if int64(spec.AccessSize) > ns.Granularity {
+		panic("lattester: spread access must fit one interleave chunk")
+	}
+	dur := spec.Duration
+	if dur == 0 {
+		dur = 200 * sim.Microsecond
+	}
+	start := p.Now()
+	warmEnd := start + dur/4
+	deadline := warmEnd + dur
+
+	stripes := ns.Size / ns.StripeSize()
+	chunkAccesses := int(ns.Granularity) / spec.AccessSize
+
+	var bytes int64
+	for th := 0; th < spec.Threads; th++ {
+		th := th
+		p.Go(fmt.Sprintf("spread%d", th), ns.Socket, func(ctx *platform.MemCtx) {
+			r := sim.NewRNG(spec.Seed + uint64(th)*131 + 7)
+			for ctx.Proc().Now() < deadline {
+				// Pick one of this thread's N DIMMs, then a random aligned
+				// offset within a random 4 KB chunk on that DIMM.
+				d := (th + r.Intn(spec.DIMMsEach)) % ways
+				stripe := r.Int63n(stripes)
+				off := stripe*ns.StripeSize() + int64(d)*ns.Granularity +
+					int64(r.Intn(chunkAccesses)*spec.AccessSize)
+				if spec.Write {
+					ctx.NTStore(ns, off, spec.AccessSize, nil)
+					ctx.SFence()
+				} else {
+					ctx.LoadStream(ns, off, spec.AccessSize)
+				}
+				if ctx.Proc().Now() >= warmEnd {
+					bytes += int64(spec.AccessSize)
+				}
+			}
+			if !spec.Write {
+				ctx.DrainLoads()
+			}
+		})
+	}
+	end := p.Run()
+	elapsed := end - warmEnd
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) / elapsed.Seconds() / 1e9
+}
+
+// AccessWithinChunk asserts the invariant spread accesses rely on: an
+// access of the given size starting at an aligned offset never crosses a
+// 4 KB interleave boundary.
+func AccessWithinChunk(off int64, size int) bool {
+	return off/mem.Page == (off+int64(size)-1)/mem.Page
+}

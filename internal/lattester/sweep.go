@@ -1,0 +1,114 @@
+package lattester
+
+import (
+	"optanestudy/internal/platform"
+	"optanestudy/internal/sim"
+	"optanestudy/internal/stats"
+	"optanestudy/internal/topology"
+)
+
+// DataPoint is one configuration's outcome in the systematic sweep
+// (Section 3.1: "a broad, systematic sweep over 3D XPoint configuration
+// parameters").
+type DataPoint struct {
+	Op         Op
+	Pattern    PatternKind
+	AccessSize int
+	Threads    int
+	GBs        float64
+	EWR        float64
+}
+
+// SweepConfig bounds the systematic sweep.
+type SweepConfig struct {
+	// PlatformConfig builds a fresh platform per point (isolating
+	// counters and buffer state).
+	PlatformConfig platform.Config
+	Ops            []Op
+	Patterns       []PatternKind
+	AccessSizes    []int
+	Threads        []int
+	Duration       sim.Time
+	Channel        int // DIMM used for the single-DIMM namespaces
+}
+
+// DefaultSweepConfig mirrors the paper's sweep axes at a size that runs in
+// reasonable simulated time.
+func DefaultSweepConfig() SweepConfig {
+	cfg := platform.DefaultConfig()
+	cfg.XP.Wear.Enabled = false // tail outliers would blur bandwidth means
+	return SweepConfig{
+		PlatformConfig: cfg,
+		Ops:            []Op{OpNTStore, OpStore, OpStoreCLWB},
+		Patterns:       []PatternKind{Sequential, Random},
+		AccessSizes:    []int{64, 128, 256, 512, 1024, 4096},
+		Threads:        []int{1, 2, 4, 8},
+		Duration:       120 * sim.Microsecond,
+	}
+}
+
+// Sweep runs every configuration against a single non-interleaved DIMM and
+// returns the data points (the Figure 9 scatter).
+func Sweep(sc SweepConfig) []DataPoint {
+	var points []DataPoint
+	for _, op := range sc.Ops {
+		for _, pat := range sc.Patterns {
+			for _, size := range sc.AccessSizes {
+				for _, threads := range sc.Threads {
+					p := platform.MustNew(sc.PlatformConfig)
+					ns, err := p.OptaneNI("sweep", 0, sc.Channel, 1<<30)
+					if err != nil {
+						panic(err)
+					}
+					res := Run(Spec{
+						NS:         ns,
+						Op:         op,
+						Pattern:    pat,
+						AccessSize: size,
+						Threads:    threads,
+						Duration:   sc.Duration,
+						Seed:       uint64(size*31+threads*7) + 1,
+					})
+					points = append(points, DataPoint{
+						Op:         op,
+						Pattern:    pat,
+						AccessSize: size,
+						Threads:    threads,
+						GBs:        res.GBs,
+						EWR:        res.EWR(),
+					})
+				}
+			}
+		}
+	}
+	return points
+}
+
+// CorrelateEWR fits device bandwidth against EWR for one op across the
+// sweep's points, reproducing the per-instruction fits of Figure 9.
+func CorrelateEWR(points []DataPoint, op Op) *stats.LinReg {
+	var fit stats.LinReg
+	for _, pt := range points {
+		if pt.Op == op {
+			fit.Add(pt.EWR, pt.GBs)
+		}
+	}
+	return &fit
+}
+
+// NewNIPlatform builds a fresh default platform with one non-interleaved
+// Optane namespace — the sweep's and several figures' workhorse setup.
+func NewNIPlatform(track bool) (*platform.Platform, *platform.Namespace) {
+	cfg := platform.DefaultConfig()
+	cfg.TrackData = track
+	cfg.XP.Wear.Enabled = false
+	p := platform.MustNew(cfg)
+	ns, err := p.CreateNamespace(topology.Spec{
+		Name: "optane-ni", Socket: 0, Media: topology.MediaXP,
+		Size: 1 << 30, Channels: []int{0},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return p, ns
+}

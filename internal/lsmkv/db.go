@@ -1,0 +1,375 @@
+package lsmkv
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"optanestudy/internal/platform"
+	"optanestudy/internal/sim"
+)
+
+// Mode selects the persistence strategy under study (Section 4.2).
+type Mode int
+
+// Persistence strategies.
+const (
+	// ModeWALPOSIX: volatile memtable + file-style WAL.
+	ModeWALPOSIX Mode = iota
+	// ModeWALFLEX: volatile memtable + FLEX userspace WAL.
+	ModeWALFLEX
+	// ModePersistentMemtable: skiplist directly in persistent memory, no
+	// WAL (fine-grained persistence).
+	ModePersistentMemtable
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeWALPOSIX:
+		return "WAL-POSIX"
+	case ModeWALFLEX:
+		return "WAL-FLEX"
+	default:
+		return "Persistent-skiplist"
+	}
+}
+
+// Options configures a DB.
+type Options struct {
+	Mode Mode
+	// PM is the persistent namespace (WAL / persistent memtable / SSTs).
+	PM *platform.Namespace
+	// DRAM backs the volatile memtable in the WAL modes.
+	DRAM *platform.Namespace
+	// MemtableBytes bounds the memtable before a flush (default 1 MB).
+	MemtableBytes int64
+	Seed          uint64
+}
+
+// Region layout inside PM: [WAL | memtable (if persistent) | SST area].
+const (
+	walRegion = 4 << 20
+)
+
+// DB is the LSM store.
+type DB struct {
+	opt  Options
+	mu   sim.Mutex
+	mem  *Skiplist
+	wal  *WAL
+	ssts []*sst
+
+	memNS       *platform.Namespace
+	memBase     int64
+	sstBase     int64
+	sstNext     int64
+	flushes     int
+	compactions int
+	sets        int64
+	replayed    int
+}
+
+// sst is one immutable sorted table with a volatile sparse index.
+type sst struct {
+	base  int64
+	size  int64
+	index []sstIndexEntry // every entry indexed (tables are small)
+}
+
+type sstIndexEntry struct {
+	key []byte
+	off int64
+}
+
+// Open creates a fresh DB (use Recover to reattach after a crash).
+func Open(ctx *platform.MemCtx, opt Options) (*DB, error) {
+	if opt.PM == nil {
+		return nil, errors.New("lsmkv: PM namespace required")
+	}
+	if opt.Mode != ModePersistentMemtable && opt.DRAM == nil {
+		return nil, errors.New("lsmkv: DRAM namespace required for WAL modes")
+	}
+	if opt.MemtableBytes == 0 {
+		opt.MemtableBytes = 1 << 20
+	}
+	db := &DB{opt: opt}
+	switch opt.Mode {
+	case ModePersistentMemtable:
+		db.memNS = opt.PM
+		db.memBase = walRegion
+		db.mem = NewSkiplist(ctx, opt.PM, db.memBase, opt.MemtableBytes, true, opt.Seed)
+	default:
+		db.wal = NewWAL(ctx, opt.PM, 0, walRegion, walMode(opt.Mode))
+		db.memNS = opt.DRAM
+		db.memBase = 0
+		db.mem = NewSkiplist(ctx, opt.DRAM, 0, opt.MemtableBytes, false, opt.Seed)
+	}
+	db.sstBase = walRegion + opt.MemtableBytes
+	db.sstNext = db.sstBase
+	return db, nil
+}
+
+func walMode(m Mode) WALMode {
+	if m == ModeWALPOSIX {
+		return WALPOSIX
+	}
+	return WALFLEX
+}
+
+// Set durably inserts a key-value pair (sync per operation, like the
+// paper's db_bench configuration).
+func (db *DB) Set(ctx *platform.MemCtx, key, val []byte) error {
+	db.mu.Lock(ctx.Proc())
+	defer db.mu.Unlock()
+	if db.wal != nil {
+		rec := encodeRecord(key, val)
+		if err := db.wal.Append(ctx, rec); err != nil {
+			if err == ErrWALFull {
+				if ferr := db.flushLocked(ctx); ferr != nil {
+					return ferr
+				}
+				err = db.wal.Append(ctx, rec)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	if err := db.mem.Insert(ctx, key, val); err != nil {
+		if err != ErrFull {
+			return err
+		}
+		if err := db.flushLocked(ctx); err != nil {
+			return err
+		}
+		if err := db.mem.Insert(ctx, key, val); err != nil {
+			return err
+		}
+	}
+	db.sets++
+	return nil
+}
+
+// Get returns the newest value for key.
+func (db *DB) Get(ctx *platform.MemCtx, key []byte) ([]byte, bool) {
+	db.mu.Lock(ctx.Proc())
+	defer db.mu.Unlock()
+	if v, ok := db.mem.Get(ctx, key); ok {
+		return v, true
+	}
+	for i := len(db.ssts) - 1; i >= 0; i-- {
+		if v, ok := db.ssts[i].get(ctx, db.opt.PM, key); ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// flushLocked writes the memtable to a fresh SST (sequential non-temporal
+// stream), truncates the WAL, and resets the memtable.
+func (db *DB) flushLocked(ctx *platform.MemCtx) error {
+	table := &sst{base: db.sstNext}
+	var buf bytes.Buffer
+	seen := map[string]bool{}
+	db.mem.Scan(ctx, func(key, val []byte) bool {
+		if seen[string(key)] {
+			return true // newest version already emitted
+		}
+		seen[string(key)] = true
+		table.index = append(table.index, sstIndexEntry{
+			key: append([]byte(nil), key...),
+			off: int64(buf.Len()),
+		})
+		rec := encodeRecord(key, val)
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(rec)))
+		buf.Write(n[:])
+		buf.Write(rec)
+		return true
+	})
+	table.size = int64(buf.Len())
+	if table.base+table.size > db.opt.PM.Size {
+		return errors.New("lsmkv: SST area exhausted")
+	}
+	if table.size > 0 {
+		ctx.PersistNT(db.opt.PM, table.base, buf.Len(), buf.Bytes())
+		db.ssts = append(db.ssts, table)
+		db.sstNext += (table.size + 4095) &^ 4095
+	}
+	if len(db.ssts) > compactionTrigger {
+		if err := db.compactLocked(ctx); err != nil {
+			return err
+		}
+	}
+	if db.wal != nil {
+		db.wal.Truncate(ctx)
+		db.mem = NewSkiplist(ctx, db.memNS, db.memBase, db.opt.MemtableBytes, false, db.opt.Seed+uint64(db.flushes)+1)
+	} else {
+		db.mem = NewSkiplist(ctx, db.memNS, db.memBase, db.opt.MemtableBytes, true, db.opt.Seed+uint64(db.flushes)+1)
+	}
+	db.flushes++
+	return nil
+}
+
+// Flush forces a memtable flush.
+func (db *DB) Flush(ctx *platform.MemCtx) error {
+	db.mu.Lock(ctx.Proc())
+	defer db.mu.Unlock()
+	return db.flushLocked(ctx)
+}
+
+// Flushes reports how many memtable flushes occurred.
+func (db *DB) Flushes() int { return db.flushes }
+
+// compactionTrigger is the L0 table count that starts a merge.
+const compactionTrigger = 4
+
+// compactLocked merge-sorts every SST into one (newest version of each
+// key wins), writes it sequentially — the access pattern 3D XPoint likes —
+// and retires the inputs. Space management is generational: the merged
+// table is appended and the old tables' space becomes reusable once the
+// append frontier wraps (a full free-space map is future work, as in the
+// original study's prototype).
+func (db *DB) compactLocked(ctx *platform.MemCtx) error {
+	if len(db.ssts) < 2 {
+		return nil
+	}
+	merged := &sst{base: db.sstNext}
+	var buf bytes.Buffer
+	// Newest tables take precedence: iterate newest-first, keep first
+	// occurrence of each key, then emit in sorted order.
+	kept := map[string][]byte{}
+	var order []string
+	for i := len(db.ssts) - 1; i >= 0; i-- {
+		t := db.ssts[i]
+		for _, ie := range t.index {
+			k := string(ie.key)
+			if _, seen := kept[k]; seen {
+				continue
+			}
+			var n [4]byte
+			ctx.LoadInto(db.opt.PM, t.base+ie.off, n[:])
+			rec := make([]byte, binary.LittleEndian.Uint32(n[:]))
+			ctx.LoadInto(db.opt.PM, t.base+ie.off+4, rec)
+			_, v, err := decodeRecord(rec)
+			if err != nil {
+				return err
+			}
+			kept[k] = append([]byte(nil), v...)
+			order = append(order, k)
+		}
+	}
+	sort.Strings(order)
+	for _, k := range order {
+		merged.index = append(merged.index, sstIndexEntry{
+			key: []byte(k), off: int64(buf.Len()),
+		})
+		rec := encodeRecord([]byte(k), kept[k])
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(rec)))
+		buf.Write(n[:])
+		buf.Write(rec)
+	}
+	merged.size = int64(buf.Len())
+	if merged.base+merged.size > db.opt.PM.Size {
+		return errors.New("lsmkv: SST area exhausted during compaction")
+	}
+	if merged.size > 0 {
+		ctx.PersistNT(db.opt.PM, merged.base, buf.Len(), buf.Bytes())
+		db.sstNext += (merged.size + 4095) &^ 4095
+		db.ssts = []*sst{merged}
+	} else {
+		db.ssts = nil
+	}
+	db.compactions++
+	return nil
+}
+
+// Compactions reports how many SST merges occurred.
+func (db *DB) Compactions() int { return db.compactions }
+
+// Tables reports the current SST count.
+func (db *DB) Tables() int { return len(db.ssts) }
+
+func (t *sst) get(ctx *platform.MemCtx, pm *platform.Namespace, key []byte) ([]byte, bool) {
+	i := sort.Search(len(t.index), func(i int) bool {
+		return bytes.Compare(t.index[i].key, key) >= 0
+	})
+	if i >= len(t.index) || !bytes.Equal(t.index[i].key, key) {
+		return nil, false
+	}
+	var n [4]byte
+	ctx.LoadInto(pm, t.base+t.index[i].off, n[:])
+	rec := make([]byte, binary.LittleEndian.Uint32(n[:]))
+	ctx.LoadInto(pm, t.base+t.index[i].off+4, rec)
+	k, v, err := decodeRecord(rec)
+	if err != nil || !bytes.Equal(k, key) {
+		return nil, false
+	}
+	return v, true
+}
+
+func encodeRecord(key, val []byte) []byte {
+	rec := make([]byte, 4+len(key)+len(val))
+	binary.LittleEndian.PutUint16(rec[0:], uint16(len(key)))
+	binary.LittleEndian.PutUint16(rec[2:], uint16(len(val)))
+	copy(rec[4:], key)
+	copy(rec[4+len(key):], val)
+	return rec
+}
+
+func decodeRecord(rec []byte) (key, val []byte, err error) {
+	if len(rec) < 4 {
+		return nil, nil, fmt.Errorf("lsmkv: short record (%d bytes)", len(rec))
+	}
+	kl := int(binary.LittleEndian.Uint16(rec[0:]))
+	vl := int(binary.LittleEndian.Uint16(rec[2:]))
+	if 4+kl+vl > len(rec) {
+		return nil, nil, fmt.Errorf("lsmkv: corrupt record")
+	}
+	return rec[4 : 4+kl], rec[4+kl : 4+kl+vl], nil
+}
+
+// RecoverWAL rebuilds a WAL-mode DB's memtable from the durable log after
+// a crash, returning the recovered DB and how many records were replayed.
+func RecoverWAL(ctx *platform.MemCtx, opt Options) (*DB, int, error) {
+	if opt.Mode == ModePersistentMemtable {
+		return nil, 0, errors.New("lsmkv: RecoverWAL is for WAL modes")
+	}
+	db, err := Open(ctx, opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := 0
+	err = db.wal.Replay(func(payload []byte) bool {
+		k, v, derr := decodeRecord(payload)
+		if derr != nil {
+			return false
+		}
+		if db.mem.Insert(ctx, k, v) != nil {
+			return false
+		}
+		db.wal.head += int64(8 + len(payload))
+		n++
+		return true
+	})
+	db.replayed = n
+	return db, n, err
+}
+
+// RecoverPersistent reattaches a persistent-memtable DB after a crash.
+func RecoverPersistent(ctx *platform.MemCtx, opt Options) (*DB, error) {
+	if opt.Mode != ModePersistentMemtable {
+		return nil, errors.New("lsmkv: RecoverPersistent needs ModePersistentMemtable")
+	}
+	if opt.MemtableBytes == 0 {
+		opt.MemtableBytes = 1 << 20
+	}
+	db := &DB{opt: opt, memNS: opt.PM, memBase: walRegion}
+	db.mem = RecoverSkiplist(ctx, opt.PM, db.memBase, opt.MemtableBytes, opt.Seed)
+	db.sstBase = walRegion + opt.MemtableBytes
+	db.sstNext = db.sstBase
+	return db, nil
+}

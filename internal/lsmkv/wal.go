@@ -1,0 +1,149 @@
+package lsmkv
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+
+	"optanestudy/internal/platform"
+	"optanestudy/internal/sim"
+)
+
+// WALMode selects how the write-ahead log reaches persistence.
+type WALMode int
+
+// Log modes from the Section 4.2 study.
+const (
+	// WALPOSIX models a log file on a DAX file system: write() copies
+	// into the file with cached stores and fsync() flushes the range and
+	// commits a metadata journal transaction, all behind syscall costs.
+	WALPOSIX WALMode = iota
+	// WALFLEX models the FLEX userspace technique: records append
+	// directly with non-temporal stores and a single fence; metadata
+	// updates happen only when the log crosses an allocation unit.
+	WALFLEX
+)
+
+func (m WALMode) String() string {
+	if m == WALPOSIX {
+		return "WAL-POSIX"
+	}
+	return "WAL-FLEX"
+}
+
+// Costs of the logging paths (CPU-side, per call).
+const (
+	posixWriteCost = 400 * sim.Nanosecond // syscall + VFS + page lookup
+	posixFsyncCost = 600 * sim.Nanosecond // syscall + journal machinery
+	recordCPUCost  = 60 * sim.Nanosecond  // record assembly + checksum
+	flexAllocUnit  = 4096                 // metadata persist per 4 KB crossed
+)
+
+// WAL header layout: [8B head]. Records: [4B len][4B crc][payload].
+const walHeaderSize = 64
+
+// WAL is an append-only persistent log in a namespace region.
+type WAL struct {
+	ns   *platform.Namespace
+	base int64
+	size int64
+	mode WALMode
+	head int64 // volatile copy of the durable head
+}
+
+// NewWAL initializes an empty log at [base, base+size).
+func NewWAL(ctx *platform.MemCtx, ns *platform.Namespace, base, size int64, mode WALMode) *WAL {
+	w := &WAL{ns: ns, base: base, size: size, mode: mode}
+	var hdr [8]byte
+	ctx.PersistStore(ns, base, len(hdr), hdr[:])
+	return w
+}
+
+// ErrWALFull reports log-space exhaustion.
+var ErrWALFull = errors.New("lsmkv: WAL full")
+
+// Append durably adds one record (the Set path syncs every operation, as
+// in the paper's db_bench configuration).
+func (w *WAL) Append(ctx *platform.MemCtx, payload []byte) error {
+	recSize := int64(8 + len(payload))
+	if walHeaderSize+w.head+recSize > w.size {
+		return ErrWALFull
+	}
+	off := w.base + walHeaderSize + w.head
+	rec := make([]byte, recSize)
+	binary.LittleEndian.PutUint32(rec[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(payload))
+	copy(rec[8:], payload)
+
+	ctx.Proc().Sleep(recordCPUCost)
+	switch w.mode {
+	case WALPOSIX:
+		ctx.Proc().Sleep(posixWriteCost)
+		ctx.Store(w.ns, off, len(rec), rec)
+		// fsync: flush the data range, then commit the file-system
+		// journal (two metadata blocks and a commit record).
+		ctx.Proc().Sleep(posixFsyncCost)
+		ctx.CLWB(w.ns, off, len(rec))
+		ctx.SFence()
+		w.journalCommit(ctx)
+	case WALFLEX:
+		ctx.NTStore(w.ns, off, len(rec), rec)
+		ctx.SFence()
+		if (w.head+recSize)/flexAllocUnit != w.head/flexAllocUnit {
+			// Crossed an allocation unit: persist the file size.
+			var sz [8]byte
+			binary.LittleEndian.PutUint64(sz[:], uint64(w.head+recSize))
+			ctx.PersistStore(w.ns, w.base, len(sz), sz[:])
+		}
+	}
+	w.head += recSize
+	return nil
+}
+
+// journalCommit models an ext4-style journaled metadata commit: two
+// metadata blocks plus a commit block, each persisted in order.
+func (w *WAL) journalCommit(ctx *platform.MemCtx) {
+	// The journal lives in the tail of the WAL region.
+	jbase := w.base + w.size - 4096
+	for b := 0; b < 2; b++ {
+		ctx.NTStore(w.ns, jbase+int64(b)*256, 256, nil)
+	}
+	ctx.SFence()
+	ctx.NTStore(w.ns, jbase+1024, 64, nil)
+	ctx.SFence()
+}
+
+// Truncate durably resets the log (after a memtable flush).
+func (w *WAL) Truncate(ctx *platform.MemCtx) {
+	var hdr [8]byte
+	ctx.PersistStore(w.ns, w.base, len(hdr), hdr[:])
+	w.head = 0
+}
+
+// Bytes returns the bytes currently in the log.
+func (w *WAL) Bytes() int64 { return w.head }
+
+// Replay iterates the durable records (recovery path, untimed).
+func (w *WAL) Replay(fn func(payload []byte) bool) error {
+	off := w.base + walHeaderSize
+	end := w.base + w.size
+	for off+8 <= end {
+		var hdr [8]byte
+		w.ns.ReadDurable(off, hdr[:])
+		n := int64(binary.LittleEndian.Uint32(hdr[0:]))
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		if n == 0 || off+8+n > end {
+			return nil // end of log
+		}
+		payload := make([]byte, n)
+		w.ns.ReadDurable(off+8, payload)
+		if crc32.ChecksumIEEE(payload) != crc {
+			return nil // torn tail record: stop replay
+		}
+		if !fn(payload) {
+			return nil
+		}
+		off += 8 + n
+	}
+	return nil
+}

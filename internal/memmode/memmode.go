@@ -1,0 +1,143 @@
+// Package memmode implements the platform's Memory Mode (Section 2.1.2):
+// 3D XPoint serves as large volatile "far memory" behind a direct-mapped
+// DRAM cache ("near memory") managed by the memory controller at 64 B
+// granularity. Software sees one large volatile address space; persistence
+// is not provided.
+//
+// The cache model explains two of the paper's observations: Memory-Mode
+// systems hide most 3D XPoint pathologies behind the DRAM cache (Section
+// 6), and DIMM-level EWR can exceed 1 because the DRAM cache absorbs
+// rewrites before they reach the media.
+package memmode
+
+import (
+	"errors"
+	"fmt"
+
+	"optanestudy/internal/mem"
+	"optanestudy/internal/platform"
+)
+
+// Memory is one Memory-Mode region: far 3D XPoint fronted by near DRAM.
+type Memory struct {
+	near *platform.Namespace
+	far  *platform.Namespace
+
+	sets int64
+	// tags[set] holds the far line address cached in the set, -1 if empty.
+	tags  []int64
+	dirty []bool
+
+	hits, misses, writebacks int64
+}
+
+// New builds a Memory-Mode region on the socket: farSize bytes of 3D XPoint
+// cached by nearSize bytes of DRAM (both rounded to the platform's stripe).
+func New(p *platform.Platform, name string, socket int, nearSize, farSize int64) (*Memory, error) {
+	if nearSize < mem.CacheLine || farSize < nearSize {
+		return nil, errors.New("memmode: need nearSize >= 64B and farSize >= nearSize")
+	}
+	near, err := p.DRAM(name+"-near", socket, nearSize)
+	if err != nil {
+		return nil, err
+	}
+	far, err := p.Optane(name+"-far", socket, farSize)
+	if err != nil {
+		return nil, err
+	}
+	sets := near.Size / mem.CacheLine
+	tags := make([]int64, sets)
+	for i := range tags {
+		tags[i] = -1
+	}
+	return &Memory{near: near, far: far, sets: sets, tags: tags, dirty: make([]bool, sets)}, nil
+}
+
+// Size returns the visible (far) capacity.
+func (m *Memory) Size() int64 { return m.far.Size }
+
+// Stats reports cache hits, misses and writebacks.
+func (m *Memory) Stats() (hits, misses, writebacks int64) {
+	return m.hits, m.misses, m.writebacks
+}
+
+func (m *Memory) set(lineAddr int64) int64 {
+	return (lineAddr / mem.CacheLine) % m.sets
+}
+
+// access brings one far line into the near cache (if absent) and returns
+// its offset in the near namespace. makeDirty marks the cached line
+// modified.
+func (m *Memory) access(ctx *platform.MemCtx, lineAddr int64, makeDirty bool) int64 {
+	set := m.set(lineAddr)
+	nearOff := set * mem.CacheLine
+	if m.tags[set] == lineAddr {
+		m.hits++
+	} else {
+		m.misses++
+		if m.tags[set] >= 0 && m.dirty[set] {
+			// Write the victim back to far memory.
+			m.writebacks++
+			var victim [mem.CacheLine]byte
+			ctx.LoadInto(m.near, nearOff, victim[:])
+			ctx.NTStore(m.far, m.tags[set], mem.CacheLine, victim[:])
+		}
+		// Fill from far memory.
+		var line [mem.CacheLine]byte
+		ctx.LoadInto(m.far, lineAddr, line[:])
+		ctx.Store(m.near, nearOff, mem.CacheLine, line[:])
+		m.tags[set] = lineAddr
+		m.dirty[set] = false
+	}
+	if makeDirty {
+		m.dirty[set] = true
+	}
+	return nearOff
+}
+
+func (m *Memory) checkRange(off int64, size int) {
+	if off < 0 || off+int64(size) > m.far.Size {
+		panic(fmt.Sprintf("memmode: access [%d,+%d) out of range", off, size))
+	}
+}
+
+// Load reads size bytes at off into buf (buf may be nil for timing-only).
+func (m *Memory) Load(ctx *platform.MemCtx, off int64, size int, buf []byte) {
+	m.checkRange(off, size)
+	for i := 0; i < size; {
+		addr := off + int64(i)
+		line := mem.LineAddr(addr)
+		lo := int(addr - line)
+		n := mem.CacheLine - lo
+		if n > size-i {
+			n = size - i
+		}
+		nearOff := m.access(ctx, line, false)
+		ctx.Load(m.near, nearOff+int64(lo), n)
+		if buf != nil {
+			ctx.Peek(m.near, nearOff+int64(lo), buf[i:i+n])
+		}
+		i += n
+	}
+}
+
+// Store writes size bytes at off (data may be nil for timing-only).
+func (m *Memory) Store(ctx *platform.MemCtx, off int64, size int, data []byte) {
+	m.checkRange(off, size)
+	for i := 0; i < size; {
+		addr := off + int64(i)
+		line := mem.LineAddr(addr)
+		lo := int(addr - line)
+		n := mem.CacheLine - lo
+		if n > size-i {
+			n = size - i
+		}
+		nearOff := m.access(ctx, line, true)
+		var chunk []byte
+		if data != nil {
+			chunk = data[i : i+n]
+		}
+		ctx.Store(m.near, nearOff+int64(lo), n, chunk)
+		i += n
+	}
+}

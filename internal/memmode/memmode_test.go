@@ -1,0 +1,129 @@
+package memmode
+
+import (
+	"bytes"
+	"testing"
+
+	"optanestudy/internal/platform"
+	"optanestudy/internal/sim"
+)
+
+func newMM(t testing.TB, nearSize, farSize int64) (*platform.Platform, *Memory) {
+	t.Helper()
+	cfg := platform.DefaultConfig()
+	cfg.TrackData = true
+	cfg.XP.Wear.Enabled = false
+	p := platform.MustNew(cfg)
+	m, err := New(p, "mm", 0, nearSize, farSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, m
+}
+
+func TestMemoryModeRoundTrip(t *testing.T) {
+	p, m := newMM(t, 1<<20, 16<<20)
+	p.Go("t", 0, func(ctx *platform.MemCtx) {
+		msg := []byte("memory mode is volatile far memory")
+		m.Store(ctx, 12345, len(msg), msg)
+		got := make([]byte, len(msg))
+		m.Load(ctx, 12345, len(got), got)
+		if !bytes.Equal(got, msg) {
+			t.Errorf("got %q", got)
+		}
+	})
+	p.Run()
+}
+
+func TestMemoryModeCacheHitsForHotSet(t *testing.T) {
+	p, m := newMM(t, 1<<20, 64<<20)
+	p.Go("t", 0, func(ctx *platform.MemCtx) {
+		// Touch a 64 KB working set twice: second pass must hit.
+		for pass := 0; pass < 2; pass++ {
+			for off := int64(0); off < 64<<10; off += 64 {
+				m.Load(ctx, off, 8, nil)
+			}
+		}
+	})
+	p.Run()
+	hits, misses, _ := m.Stats()
+	if hits < misses {
+		t.Errorf("hot set: hits=%d misses=%d, want mostly hits", hits, misses)
+	}
+}
+
+func TestMemoryModeConflictEviction(t *testing.T) {
+	p, m := newMM(t, 4096, 1<<20) // tiny near memory: conflicts guaranteed
+	p.Go("t", 0, func(ctx *platform.MemCtx) {
+		// Two far lines mapping to the same set (one full wrap apart).
+		a := int64(0)
+		b := m.sets * 64
+		m.Store(ctx, a, 8, []byte("aaaaaaaa"))
+		m.Store(ctx, b, 8, []byte("bbbbbbbb")) // evicts a (dirty writeback)
+		got := make([]byte, 8)
+		m.Load(ctx, a, 8, got) // refills a from far
+		if string(got) != "aaaaaaaa" {
+			t.Errorf("dirty writeback lost data: %q", got)
+		}
+	})
+	p.Run()
+	_, _, wb := m.Stats()
+	if wb == 0 {
+		t.Error("no writebacks despite conflict evictions")
+	}
+}
+
+func TestMemoryModeHidesXPLatencyWhenHot(t *testing.T) {
+	p, m := newMM(t, 1<<20, 64<<20)
+	var hot, cold sim.Time
+	p.Go("t", 0, func(ctx *platform.MemCtx) {
+		r := sim.NewRNG(3)
+		// Cold pass over 16 MB (mostly misses).
+		start := ctx.Proc().Now()
+		const n = 1500
+		for i := 0; i < n; i++ {
+			m.Load(ctx, r.Int63n(16<<20)&^63, 8, nil)
+		}
+		cold = (ctx.Proc().Now() - start) / n
+		// Hot pass over 256 KB (fits in near memory).
+		for off := int64(0); off < 256<<10; off += 64 {
+			m.Load(ctx, off, 8, nil)
+		}
+		start = ctx.Proc().Now()
+		for i := 0; i < n; i++ {
+			m.Load(ctx, r.Int63n(256<<10)&^63, 8, nil)
+		}
+		hot = (ctx.Proc().Now() - start) / n
+	})
+	p.Run()
+	if hot*2 > cold {
+		t.Errorf("hot loads (%v) should be far cheaper than cold (%v)", hot, cold)
+	}
+}
+
+func TestMemoryModeIsVolatile(t *testing.T) {
+	p, m := newMM(t, 1<<20, 16<<20)
+	p.Go("t", 0, func(ctx *platform.MemCtx) {
+		m.Store(ctx, 0, 4, []byte("gone"))
+	})
+	p.Run()
+	p.Crash()
+	// Far memory never saw the write (it is buffered dirty in near DRAM),
+	// and near DRAM is volatile by definition.
+	buf := make([]byte, 4)
+	m.far.ReadDurable(0, buf)
+	if string(buf) == "gone" {
+		t.Error("memory-mode store reached far media before eviction")
+	}
+}
+
+func TestMemoryModeRejectsBadSizes(t *testing.T) {
+	cfg := platform.DefaultConfig()
+	p := platform.MustNew(cfg)
+	if _, err := New(p, "x", 0, 0, 1<<20); err == nil {
+		t.Error("zero near size accepted")
+	}
+	if _, err := New(p, "y", 0, 1<<20, 1<<10); err == nil {
+		t.Error("far smaller than near accepted")
+	}
+}

@@ -1,0 +1,262 @@
+package novafs
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"optanestudy/internal/platform"
+	"optanestudy/internal/sim"
+)
+
+func mounted(t testing.TB, mode Mode) (*platform.Platform, *FS) {
+	t.Helper()
+	cfg := platform.DefaultConfig()
+	cfg.TrackData = true
+	cfg.XP.Wear.Enabled = false
+	p := platform.MustNew(cfg)
+	ns, err := p.Optane("nova", 0, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Mount([]*platform.Namespace{ns}, DefaultOptions(mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, fs
+}
+
+func TestWriteReadBack(t *testing.T) {
+	for _, mode := range []Mode{COW, Datalog} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			p, fs := mounted(t, mode)
+			p.Go("t", 0, func(ctx *platform.MemCtx) {
+				f, err := fs.Create(ctx, "file")
+				if err != nil {
+					t.Fatal(err)
+				}
+				data := bytes.Repeat([]byte{0xAB}, 10000)
+				if err := f.WriteAt(ctx, 0, data); err != nil {
+					t.Fatal(err)
+				}
+				// Sub-page overwrite.
+				small := []byte("hello, small write")
+				if err := f.WriteAt(ctx, 100, small); err != nil {
+					t.Fatal(err)
+				}
+				got := make([]byte, 200)
+				if err := f.ReadAt(ctx, 0, got); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got[100:100+len(small)], small) {
+					t.Error("small write lost")
+				}
+				if got[99] != 0xAB || got[100+len(small)] != 0xAB {
+					t.Error("small write clobbered neighbors")
+				}
+				if f.Size() != 10000 {
+					t.Errorf("size = %d", f.Size())
+				}
+			})
+			p.Run()
+		})
+	}
+}
+
+func TestDatalogEmbedsSmallWrites(t *testing.T) {
+	p, fs := mounted(t, Datalog)
+	p.Go("t", 0, func(ctx *platform.MemCtx) {
+		f, _ := fs.CreateZone(ctx, "f", 0)
+		f.WriteAt(ctx, 0, make([]byte, 4096)) // base page via COW
+		before := fs.zones[0].nextPage
+		for i := 0; i < 10; i++ {
+			f.WriteAt(ctx, int64(i*64), make([]byte, 64))
+		}
+		if fs.zones[0].nextPage != before {
+			t.Error("small writes allocated data pages (should embed)")
+		}
+		if f.PatchCount() != 10 {
+			t.Errorf("patches = %d", f.PatchCount())
+		}
+		// A big write folds the patches away.
+		f.WriteAt(ctx, 0, make([]byte, 4096))
+		if f.PatchCount() != 0 {
+			t.Errorf("patches after COW = %d", f.PatchCount())
+		}
+	})
+	p.Run()
+}
+
+func TestCOWNeverEmbeds(t *testing.T) {
+	p, fs := mounted(t, COW)
+	p.Go("t", 0, func(ctx *platform.MemCtx) {
+		f, _ := fs.CreateZone(ctx, "f", 0)
+		f.WriteAt(ctx, 0, make([]byte, 4096))
+		before := fs.zones[0].nextPage
+		f.WriteAt(ctx, 10, make([]byte, 64))
+		if fs.zones[0].nextPage == before {
+			t.Error("COW mode did not allocate a page for a small write")
+		}
+	})
+	p.Run()
+}
+
+func TestDatalogFasterSmallWrites(t *testing.T) {
+	latency := func(mode Mode) float64 {
+		p, fs := mounted(t, mode)
+		var total sim.Time
+		p.Go("t", 0, func(ctx *platform.MemCtx) {
+			f, _ := fs.CreateZone(ctx, "f", 0)
+			f.WriteAt(ctx, 0, make([]byte, 64<<10))
+			r := sim.NewRNG(3)
+			const n = 200
+			for i := 0; i < n; i++ {
+				off := r.Int63n(1000) * 64
+				start := ctx.Proc().Now()
+				f.WriteAt(ctx, off, make([]byte, 64))
+				total += ctx.Proc().Now() - start
+			}
+		})
+		p.Run()
+		return total.Nanoseconds() / 200
+	}
+	cow := latency(COW)
+	datalog := latency(Datalog)
+	// Paper: 7x for 64 B random overwrites.
+	if datalog*3 > cow {
+		t.Errorf("datalog (%.0f ns) should be >=3x faster than COW (%.0f ns)", datalog, cow)
+	}
+}
+
+func TestRecoverAfterCrash(t *testing.T) {
+	p, fs := mounted(t, Datalog)
+	var logHead int64
+	payload := []byte("durable after crash")
+	p.Go("t", 0, func(ctx *platform.MemCtx) {
+		f, _ := fs.CreateZone(ctx, "f", 0)
+		f.WriteAt(ctx, 0, make([]byte, 8192))
+		f.WriteAt(ctx, 4000, payload)
+		logHead = f.logHead
+	})
+	p.Run()
+	p.Crash()
+
+	// Remount and recover from the durable log.
+	fs2, err := Mount([]*platform.Namespace{fs.zones[0].ns}, DefaultOptions(Datalog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := fs2.Recover("f", 0, logHead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Go("t", 0, func(ctx *platform.MemCtx) {
+		got := make([]byte, len(payload))
+		if err := f2.ReadAt(ctx, 4000, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Errorf("recovered %q", got)
+		}
+		// And the file keeps working without clobbering old pages.
+		if err := f2.WriteAt(ctx, 0, []byte("post-crash write")); err != nil {
+			t.Fatal(err)
+		}
+		if err := f2.ReadAt(ctx, 4000, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Error("post-crash write clobbered recovered data")
+		}
+	})
+	p.Run()
+}
+
+func TestMultiZonePinning(t *testing.T) {
+	cfg := platform.DefaultConfig()
+	cfg.TrackData = true
+	cfg.XP.Wear.Enabled = false
+	p := platform.MustNew(cfg)
+	var nss []*platform.Namespace
+	for i := 0; i < 3; i++ {
+		ns, err := p.OptaneNI("z"+string(rune('0'+i)), 0, i, 16<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nss = append(nss, ns)
+	}
+	fs, err := Mount(nss, DefaultOptions(COW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Go("t", 0, func(ctx *platform.MemCtx) {
+		for i := 0; i < 3; i++ {
+			f, err := fs.CreateZone(ctx, "file"+string(rune('0'+i)), i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f.WriteAt(ctx, 0, make([]byte, 16<<10)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	p.Run()
+	// Every zone must have allocated pages: allocations were pinned.
+	for i, z := range fs.zones {
+		if z.nextPage < 4 {
+			t.Errorf("zone %d barely used (nextPage=%d)", i, z.nextPage)
+		}
+	}
+}
+
+// Property: random small writes + reads agree with an in-memory model, in
+// both modes.
+func TestFileModelProperty(t *testing.T) {
+	f := func(seed uint64, useDatalog bool) bool {
+		mode := COW
+		if useDatalog {
+			mode = Datalog
+		}
+		p, fs := mounted(t, mode)
+		const fileSize = 32 << 10
+		model := make([]byte, fileSize)
+		ok := true
+		p.Go("t", 0, func(ctx *platform.MemCtx) {
+			fl, err := fs.CreateZone(ctx, "f", 0)
+			if err != nil {
+				ok = false
+				return
+			}
+			fl.WriteAt(ctx, 0, make([]byte, fileSize))
+			r := sim.NewRNG(seed)
+			for i := 0; i < 40 && ok; i++ {
+				off := r.Int63n(fileSize - 512)
+				n := 1 + r.Intn(511)
+				data := make([]byte, n)
+				for j := range data {
+					data[j] = byte(r.Uint64())
+				}
+				if err := fl.WriteAt(ctx, off, data); err != nil {
+					ok = false
+					return
+				}
+				copy(model[off:], data)
+				checkOff := r.Int63n(fileSize - 512)
+				got := make([]byte, 512)
+				if err := fl.ReadAt(ctx, checkOff, got); err != nil {
+					ok = false
+					return
+				}
+				if !bytes.Equal(got, model[checkOff:checkOff+512]) {
+					ok = false
+				}
+			}
+		})
+		p.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,139 @@
+// Package platform assembles the full simulated machine — sockets, LLCs,
+// iMCs, channels, DRAM and 3D XPoint DIMMs, and the UPI cross-socket link —
+// and exposes per-thread memory contexts implementing the persistence ISA
+// the paper studies: load, store, ntstore, clwb, clflush, clflushopt and
+// sfence.
+//
+// The simulator is functional as well as timed: namespaces hold real bytes,
+// volatile state (dirty cache lines, write-combining buffers) is separate
+// from the ADR-protected durable state, and Crash discards exactly the
+// volatile part, so software stacks built on top can be crash-tested.
+package platform
+
+import (
+	"optanestudy/internal/cache"
+	"optanestudy/internal/dimm"
+	"optanestudy/internal/imc"
+	"optanestudy/internal/sim"
+	"optanestudy/internal/topology"
+)
+
+// Config holds every knob of the simulated machine. DefaultConfig is
+// calibrated to the paper's testbed (see DESIGN.md for the derivation).
+type Config struct {
+	Geometry topology.Geometry
+	XP       dimm.XPConfig
+	DRAM     dimm.DRAMConfig
+	Channel  imc.ChannelConfig
+	LLC      cache.Config
+	UPI      UPIConfig
+
+	// LoadOverhead is the on-chip interconnect + iMC round trip added to
+	// every load that misses the LLC.
+	LoadOverhead sim.Time
+	// StoreIssue is the core cost of retiring one cached store.
+	StoreIssue sim.Time
+	// NTStoreIssue is the core cost of one non-temporal store.
+	NTStoreIssue sim.Time
+	// FlushIssue is the core cost of clwb/clflushopt.
+	FlushIssue sim.Time
+	// CLFlushIssue is the core cost of the (more serializing) clflush.
+	CLFlushIssue sim.Time
+	// FenceBase is the fixed cost of sfence/mfence.
+	FenceBase sim.Time
+	// AcceptAckDRAM / AcceptAckXP is the time for the iMC's WPQ-acceptance
+	// acknowledgment to reach the core, per DIMM kind (DDR-T handshakes
+	// are slightly slower).
+	AcceptAckDRAM sim.Time
+	AcceptAckXP   sim.Time
+	// NTPostDelay is the write-combining buffer drain time from core to
+	// iMC for non-temporal stores.
+	NTPostDelay sim.Time
+	// ChunkIssue is the pipelined per-64 B issue cost inside large
+	// accesses.
+	ChunkIssue sim.Time
+	// MLP is the number of outstanding loads a thread sustains
+	// (memory-level parallelism).
+	MLP int
+	// StoreWindow is the per-thread, per-DIMM limit of un-drained WPQ
+	// entries; the paper observes the WPQ holds at most 256 B (4 lines)
+	// per thread (Section 5.3).
+	StoreWindow int
+
+	// TrackData enables byte-accurate contents. Microbenchmarks turn it
+	// off; software stacks need it on.
+	TrackData bool
+	// EADR extends the persistence domain to the caches (the Section 6
+	// proposal [43, 67]): on Crash, dirty cache lines are flushed rather
+	// than lost, so software no longer needs clwb/clflush for
+	// durability — only fences for ordering. Write-combining buffers
+	// remain outside the domain.
+	EADR bool
+	// Seed feeds per-component RNGs.
+	Seed uint64
+}
+
+// UPIConfig models the cross-socket interconnect.
+type UPIConfig struct {
+	// HopLatency is added per direction for a remote access.
+	HopLatency sim.Time
+	// ReadService / WriteService is the home-agent/link occupancy of one
+	// remote 64 B read or write.
+	ReadService  sim.Time
+	WriteService sim.Time
+	// TurnaroundXP is the home-agent penalty when remote traffic to a
+	// 3D XPoint DIMM alternates between reads and writes; DDR-T's
+	// non-deterministic timing makes cross-socket scheduling expensive
+	// (the Section 5.4 mixed-traffic collapse). TurnaroundDRAM is its
+	// (small) DRAM counterpart.
+	TurnaroundXP   sim.Time
+	TurnaroundDRAM sim.Time
+	// WriteOwnership is the extra latency to obtain ownership for a
+	// remote write.
+	WriteOwnership sim.Time
+}
+
+// DefaultConfig returns the calibrated model of the paper's two-socket
+// Cascade Lake testbed with six 256 GB Optane DIMMs and six 32 GB DRAM
+// DIMMs per socket.
+func DefaultConfig() Config {
+	return Config{
+		Geometry: topology.DefaultGeometry(),
+		XP:       dimm.DefaultXPConfig(),
+		DRAM:     dimm.DefaultDRAMConfig(),
+		Channel:  imc.DefaultChannelConfig(),
+		LLC:      cache.DefaultConfig(),
+		UPI: UPIConfig{
+			HopLatency:     55 * sim.Nanosecond,
+			ReadService:    3200 * sim.Picosecond,
+			WriteService:   8 * sim.Nanosecond,
+			TurnaroundXP:   250 * sim.Nanosecond,
+			TurnaroundDRAM: 4 * sim.Nanosecond,
+			WriteOwnership: 20 * sim.Nanosecond,
+		},
+		LoadOverhead:  57 * sim.Nanosecond,
+		StoreIssue:    1 * sim.Nanosecond,
+		NTStoreIssue:  2 * sim.Nanosecond,
+		FlushIssue:    4 * sim.Nanosecond,
+		CLFlushIssue:  12 * sim.Nanosecond,
+		FenceBase:     8 * sim.Nanosecond,
+		AcceptAckDRAM: 44 * sim.Nanosecond,
+		AcceptAckXP:   49 * sim.Nanosecond,
+		NTPostDelay:   30 * sim.Nanosecond,
+		ChunkIssue:    1 * sim.Nanosecond,
+		MLP:           10,
+		StoreWindow:   4,
+		TrackData:     false,
+		Seed:          0x5EED,
+	}
+}
+
+// PMEPConfig returns a platform emulating Intel's Persistent Memory
+// Emulator Platform: DRAM with +300 ns loads and write bandwidth throttled
+// to 1/8, the standard configuration of prior work (Section 4.1). The
+// "persistent" namespaces of a PMEP platform live on its (modified) DRAM.
+func PMEPConfig() Config {
+	cfg := DefaultConfig()
+	cfg.DRAM = dimm.PMEPDRAMConfig()
+	return cfg
+}

@@ -1,0 +1,113 @@
+package pmemkv
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"optanestudy/internal/platform"
+	"optanestudy/internal/pmemobj"
+	"optanestudy/internal/sim"
+)
+
+// OverwriteSpec configures the Figure 19 benchmark: a mixed
+// read-modify-write ("overwrite") workload against a cmap, with the store
+// either local or remote relative to the worker threads.
+type OverwriteSpec struct {
+	Platform *platform.Platform
+	NS       *platform.Namespace
+	Socket   int // socket the workers run on
+	Threads  int
+	Keys     int
+	KeySize  int
+	ValSize  int
+	Duration sim.Time
+	Seed     uint64
+}
+
+// OverwriteResult reports the achieved throughput.
+type OverwriteResult struct {
+	Ops     int64
+	Elapsed sim.Time
+	// GBs counts key+value bytes moved per second (the paper plots
+	// bandwidth).
+	GBs float64
+}
+
+// RunOverwrite loads the store and runs the overwrite phase.
+func RunOverwrite(spec OverwriteSpec) (OverwriteResult, error) {
+	p := spec.Platform
+	pool, err := pmemobj.Create(spec.NS)
+	if err != nil {
+		return OverwriteResult{}, err
+	}
+	if spec.Duration == 0 {
+		spec.Duration = 300 * sim.Microsecond
+	}
+	if spec.KeySize < 8 {
+		spec.KeySize = 16
+	}
+	if spec.ValSize == 0 {
+		spec.ValSize = 128
+	}
+	var m *CMap
+	var initErr error
+	p.Go("load", spec.Socket, func(ctx *platform.MemCtx) {
+		m, initErr = CreateCMap(ctx, pool, spec.Keys*2)
+		if initErr != nil {
+			return
+		}
+		for i := 0; i < spec.Keys; i++ {
+			if err := m.Put(ctx, benchKey(i, spec.KeySize), benchVal(i, spec.ValSize)); err != nil {
+				initErr = err
+				return
+			}
+		}
+	})
+	p.Run()
+	if initErr != nil {
+		return OverwriteResult{}, initErr
+	}
+
+	start := p.Now()
+	deadline := start + spec.Duration
+	var ops int64
+	for th := 0; th < spec.Threads; th++ {
+		th := th
+		p.Go(fmt.Sprintf("ow%d", th), spec.Socket, func(ctx *platform.MemCtx) {
+			r := sim.NewRNG(spec.Seed + uint64(th)*997 + 3)
+			for ctx.Proc().Now() < deadline {
+				k := benchKey(r.Intn(spec.Keys), spec.KeySize)
+				val, ok := m.Get(ctx, k)
+				if !ok {
+					val = benchVal(0, spec.ValSize)
+				}
+				// Modify and write back: the read-modify-write mix that
+				// punishes remote 3D XPoint (Section 5.4.1).
+				binary.LittleEndian.PutUint64(val, r.Uint64())
+				if err := m.Put(ctx, k, val); err != nil {
+					return
+				}
+				ops++
+			}
+		})
+	}
+	end := p.Run()
+	elapsed := end - start
+	res := OverwriteResult{Ops: ops, Elapsed: elapsed}
+	if elapsed > 0 {
+		res.GBs = float64(ops) * float64(spec.KeySize+spec.ValSize) / elapsed.Seconds() / 1e9
+	}
+	return res, nil
+}
+
+func benchKey(i, size int) []byte {
+	k := make([]byte, size)
+	binary.LittleEndian.PutUint64(k, uint64(i))
+	return k
+}
+
+func benchVal(i, size int) []byte {
+	v := make([]byte, size)
+	binary.LittleEndian.PutUint64(v, uint64(i)*2654435761)
+	return v
+}

@@ -1,0 +1,184 @@
+// Package pmemobj is a PMDK-libpmemobj-style persistent object library for
+// the simulated platform: pools over pmem namespaces, a crash-consistent
+// allocator, undo-log transactions, and the "micro-buffering" optimization
+// the paper tunes in Section 5.2.1.
+package pmemobj
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"optanestudy/internal/platform"
+)
+
+// Pool layout (offsets in bytes):
+//
+//	0    header: magic, version, root offset
+//	4K   transaction log area (one per pool in this implementation)
+//	64K  heap: blocks with 16-byte headers
+const (
+	headerSize = 4096
+	logOffset  = headerSize
+	logSize    = 60 * 1024
+	heapOffset = logOffset + logSize
+
+	poolMagic   = 0x504D4F424A313673 // "PMOBJ16s"
+	headerRoot  = 16                 // root object offset field
+	blockHeader = 16
+)
+
+// Block states in the persistent header.
+const (
+	blockFree  = 0xF1EE
+	blockAlloc = 0xA110
+)
+
+// ErrCorrupt reports an unrecognized pool image.
+var ErrCorrupt = errors.New("pmemobj: pool image corrupt")
+
+// Pool is a persistent heap inside a namespace.
+type Pool struct {
+	ns   *platform.Namespace
+	free map[int64]int64 // volatile free index: offset -> size
+	head int64           // bump frontier
+}
+
+// Create formats a namespace as an empty pool. Formatting uses durable
+// writes (mkfs-style, not timed).
+func Create(ns *platform.Namespace) (*Pool, error) {
+	if ns.Size < heapOffset+4096 {
+		return nil, fmt.Errorf("pmemobj: namespace too small (%d bytes)", ns.Size)
+	}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint64(hdr[0:], poolMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], 1) // version
+	binary.LittleEndian.PutUint64(hdr[16:], 0)
+	ns.WriteDurable(0, hdr[:])
+	var zero [8]byte
+	ns.WriteDurable(logOffset, zero[:]) // empty undo log
+	p := &Pool{ns: ns, free: make(map[int64]int64), head: heapOffset}
+	return p, nil
+}
+
+// Open attaches to an existing pool, running recovery: an interrupted
+// transaction's undo log is rolled back, and the allocator index is rebuilt
+// by scanning block headers.
+func Open(ns *platform.Namespace) (*Pool, error) {
+	var hdr [24]byte
+	ns.ReadDurable(0, hdr[:])
+	if binary.LittleEndian.Uint64(hdr[0:]) != poolMagic {
+		return nil, ErrCorrupt
+	}
+	p := &Pool{ns: ns, free: make(map[int64]int64), head: heapOffset}
+	p.recoverLog()
+	if err := p.rebuildHeap(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// NS returns the backing namespace.
+func (p *Pool) NS() *platform.Namespace { return p.ns }
+
+// Root returns the root object offset (0 = unset).
+func (p *Pool) Root(ctx *platform.MemCtx) int64 {
+	var buf [8]byte
+	ctx.LoadInto(p.ns, headerRoot, buf[:])
+	return int64(binary.LittleEndian.Uint64(buf[:]))
+}
+
+// SetRoot durably points the pool at its root object.
+func (p *Pool) SetRoot(ctx *platform.MemCtx, off int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(off))
+	ctx.PersistStore(p.ns, headerRoot, len(buf), buf[:])
+}
+
+// align rounds a user size up to a multiple of 16 bytes.
+func align(n int) int64 { return int64((n + 15) &^ 15) }
+
+// Alloc obtains a block of at least size bytes, persisting its header.
+// The returned offset points at the usable payload.
+func (p *Pool) Alloc(ctx *platform.MemCtx, size int) (int64, error) {
+	if size <= 0 {
+		return 0, errors.New("pmemobj: bad allocation size")
+	}
+	want := align(size)
+	// First fit from the volatile free index.
+	for off, sz := range p.free {
+		if sz >= want {
+			delete(p.free, off)
+			if sz > want+blockHeader+16 {
+				// Split: register the remainder as a fresh free block.
+				rest := off + blockHeader + want
+				restSize := sz - want - blockHeader
+				p.writeHeader(ctx, rest, restSize, blockFree)
+				p.free[rest] = restSize
+				sz = want
+			}
+			p.writeHeader(ctx, off, sz, blockAlloc)
+			return off + blockHeader, nil
+		}
+	}
+	// Bump allocation.
+	off := p.head
+	if off+blockHeader+want > p.ns.Size {
+		return 0, errors.New("pmemobj: pool out of space")
+	}
+	p.head = off + blockHeader + want
+	p.writeHeader(ctx, off, want, blockAlloc)
+	return off + blockHeader, nil
+}
+
+// Free returns a block to the pool.
+func (p *Pool) Free(ctx *platform.MemCtx, payload int64) {
+	off := payload - blockHeader
+	size, state := p.readHeaderDurable(off)
+	if state != blockAlloc {
+		panic(fmt.Sprintf("pmemobj: free of non-allocated block at %d", payload))
+	}
+	p.writeHeader(ctx, off, size, blockFree)
+	p.free[off] = size
+}
+
+func (p *Pool) writeHeader(ctx *platform.MemCtx, off, size int64, state uint16) {
+	var hdr [blockHeader]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(size))
+	binary.LittleEndian.PutUint16(hdr[8:], state)
+	ctx.PersistStore(p.ns, off, len(hdr), hdr[:])
+}
+
+func (p *Pool) readHeaderDurable(off int64) (size int64, state uint16) {
+	var hdr [blockHeader]byte
+	p.ns.ReadDurable(off, hdr[:])
+	return int64(binary.LittleEndian.Uint64(hdr[0:])), binary.LittleEndian.Uint16(hdr[8:])
+}
+
+// rebuildHeap scans block headers to rebuild the free index and frontier.
+func (p *Pool) rebuildHeap() error {
+	off := int64(heapOffset)
+	for off+blockHeader <= p.ns.Size {
+		size, state := p.readHeaderDurable(off)
+		if state == 0 && size == 0 {
+			break // untouched frontier
+		}
+		switch state {
+		case blockFree:
+			p.free[off] = size
+		case blockAlloc:
+			// live block
+		default:
+			return fmt.Errorf("%w: block header at %d", ErrCorrupt, off)
+		}
+		if size <= 0 || off+blockHeader+size > p.ns.Size {
+			return fmt.Errorf("%w: block size at %d", ErrCorrupt, off)
+		}
+		off += blockHeader + size
+	}
+	p.head = off
+	return nil
+}
+
+// AllocUsable reports the bytes remaining for bump allocation (test hook).
+func (p *Pool) AllocUsable() int64 { return p.ns.Size - p.head }

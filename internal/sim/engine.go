@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Proc is a simulated thread of execution. Procs advance simulated time via
+// AdvanceTo/Sleep; between advances they run exclusively, so shared
+// simulation state needs no locking.
+type Proc struct {
+	eng  *Engine
+	name string
+	id   int
+	now  Time
+	seq  uint64
+
+	resume chan struct{}
+	done   bool
+}
+
+// Now returns the proc's current simulated time.
+func (p *Proc) Now() Time { return p.now }
+
+// Name returns the proc's debug name.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the proc's unique id within its engine (0, 1, 2, ... in spawn
+// order). Kernels use it to derive per-thread seeds and address partitions.
+func (p *Proc) ID() int { return p.id }
+
+// Engine returns the engine this proc belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// AdvanceTo moves the proc's clock to t (no-op if t is in the past) and
+// yields to the scheduler so that other procs with earlier clocks can run.
+func (p *Proc) AdvanceTo(t Time) {
+	if t > p.now {
+		p.now = t
+	}
+	p.yield()
+}
+
+// Advance moves the proc's clock forward by d and yields.
+func (p *Proc) Advance(d Time) { p.AdvanceTo(p.now + d) }
+
+// Sleep is an alias for Advance, for readability in kernels.
+func (p *Proc) Sleep(d Time) { p.Advance(d) }
+
+func (p *Proc) yield() {
+	p.seq = p.eng.nextSeq()
+	p.eng.parked <- p
+	<-p.resume
+}
+
+// Engine schedules procs in global simulated-time order.
+type Engine struct {
+	procs  procHeap
+	parked chan *Proc
+	seq    uint64
+	nlive  int
+	nextID int
+	now    Time
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{parked: make(chan *Proc)}
+}
+
+// Now returns the time of the most recently scheduled proc — the global
+// simulation clock.
+func (e *Engine) Now() Time { return e.now }
+
+func (e *Engine) nextSeq() uint64 {
+	e.seq++
+	return e.seq
+}
+
+// Go spawns a new proc running fn, starting at time start. It may be called
+// before Run or from within a running proc (in which case start is normally
+// the caller's Now).
+func (e *Engine) Go(name string, start Time, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		id:     e.nextID,
+		now:    start,
+		seq:    e.nextSeq(),
+		resume: make(chan struct{}),
+	}
+	e.nextID++
+	e.nlive++
+	go func() {
+		<-p.resume
+		fn(p)
+		p.done = true
+		e.parked <- p
+	}()
+	heap.Push(&e.procs, p)
+	return p
+}
+
+// Run executes the simulation until every proc has finished. It returns the
+// final simulated time.
+func (e *Engine) Run() Time {
+	for e.nlive > 0 {
+		if e.procs.Len() == 0 {
+			panic("sim: deadlock: live procs but none runnable")
+		}
+		p := heap.Pop(&e.procs).(*Proc)
+		if p.now > e.now {
+			e.now = p.now
+		}
+		p.resume <- struct{}{}
+		back := <-e.parked
+		if back.done {
+			e.nlive--
+			continue
+		}
+		heap.Push(&e.procs, back)
+	}
+	return e.now
+}
+
+// String reports scheduler state for debugging.
+func (e *Engine) String() string {
+	return fmt.Sprintf("sim.Engine{now=%v live=%d}", e.now, e.nlive)
+}
+
+// procHeap orders procs by (now, seq): earliest time first, FIFO among ties.
+type procHeap []*Proc
+
+func (h procHeap) Len() int { return len(h) }
+func (h procHeap) Less(i, j int) bool {
+	if h[i].now != h[j].now {
+		return h[i].now < h[j].now
+	}
+	return h[i].seq < h[j].seq
+}
+func (h procHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *procHeap) Push(x any)   { *h = append(*h, x.(*Proc)) }
+func (h *procHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return p
+}

@@ -1,0 +1,120 @@
+package sim
+
+// Server models a FIFO resource with a single service stream (a bus, a media
+// bank group, a link direction). Requests are served in arrival order; a
+// request arriving at t with service time svc completes at
+// max(t, previous completion) + svc.
+//
+// Because the engine schedules procs in global time order, Acquire calls
+// arrive in nondecreasing time order and the FIFO discipline is exact.
+type Server struct {
+	free Time // completion time of the last admitted request
+
+	// Busy accounting for utilization reporting.
+	busy Time
+}
+
+// Acquire requests svc units of service starting no earlier than t. It
+// returns the service start and completion times and advances the server.
+func (s *Server) Acquire(t, svc Time) (start, end Time) {
+	start = t
+	if s.free > start {
+		start = s.free
+	}
+	end = start + svc
+	s.free = end
+	s.busy += svc
+	return start, end
+}
+
+// FreeAt returns the earliest time a new request arriving at t would start
+// service.
+func (s *Server) FreeAt(t Time) Time {
+	if s.free > t {
+		return s.free
+	}
+	return t
+}
+
+// Backlog returns how far the server is booked beyond t.
+func (s *Server) Backlog(t Time) Time {
+	if s.free > t {
+		return s.free - t
+	}
+	return 0
+}
+
+// BusyTime returns the cumulative service time granted.
+func (s *Server) BusyTime() Time { return s.busy }
+
+// Reset clears the server state.
+func (s *Server) Reset() { s.free, s.busy = 0, 0 }
+
+// BoundedQueue models a finite FIFO queue (such as an iMC write-pending
+// queue) whose entries drain in order at times supplied by the caller. An
+// entry can be admitted only when occupancy is below capacity; Admit returns
+// the earliest time a slot frees up.
+type BoundedQueue struct {
+	cap    int
+	drains []Time // drain times of in-flight entries, FIFO, nondecreasing
+	head   int    // index of the oldest in-flight entry
+}
+
+// NewBoundedQueue returns a queue with the given entry capacity.
+func NewBoundedQueue(capacity int) *BoundedQueue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BoundedQueue{cap: capacity}
+}
+
+// Cap returns the queue capacity in entries.
+func (q *BoundedQueue) Cap() int { return q.cap }
+
+// Len returns the number of in-flight entries (including drained entries not
+// yet garbage collected; call Admit or Occupancy to trim).
+func (q *BoundedQueue) Len() int { return len(q.drains) - q.head }
+
+func (q *BoundedQueue) trim(t Time) {
+	for q.head < len(q.drains) && q.drains[q.head] <= t {
+		q.head++
+	}
+	if q.head > 1024 && q.head*2 >= len(q.drains) {
+		q.drains = append(q.drains[:0], q.drains[q.head:]...)
+		q.head = 0
+	}
+}
+
+// Occupancy returns the number of entries still queued at time t.
+func (q *BoundedQueue) Occupancy(t Time) int {
+	q.trim(t)
+	return q.Len()
+}
+
+// Admit returns the earliest time >= t at which a new entry can enter the
+// queue. It does not insert the entry; call Push with the entry's drain time
+// after computing it.
+func (q *BoundedQueue) Admit(t Time) Time {
+	q.trim(t)
+	if q.Len() < q.cap {
+		return t
+	}
+	// The entry is admitted when occupancy first drops below capacity:
+	// after the (Len-cap+1)-th oldest in-flight entry drains.
+	at := q.drains[q.head+q.Len()-q.cap]
+	q.trim(at)
+	return at
+}
+
+// Push records an admitted entry that will drain at the given time. Drain
+// times must be nondecreasing (FIFO drain), which holds when drains are
+// produced by a Server.
+func (q *BoundedQueue) Push(drain Time) {
+	q.drains = append(q.drains, drain)
+}
+
+// Reset clears the queue.
+func (q *BoundedQueue) Reset() {
+	q.drains = q.drains[:0]
+	q.head = 0
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Series is one labeled curve in a figure: parallel X/Y vectors.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// YAt returns the Y value for the given X, or 0/false when absent.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for i, xv := range s.X {
+		if xv == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// MaxY returns the largest Y value and its X, or zeros when empty.
+func (s *Series) MaxY() (x, y float64) {
+	for i, yv := range s.Y {
+		if i == 0 || yv > y {
+			x, y = s.X[i], yv
+		}
+	}
+	return x, y
+}
+
+// Figure is the regenerated data behind one of the paper's figures.
+type Figure struct {
+	ID     string // e.g. "fig4"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  string
+}
+
+// Get returns the series with the given name, or nil.
+func (f *Figure) Get(name string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// TSV renders the figure as a tab-separated table: one row per X value, one
+// column per series. X values are the union across series, sorted.
+func (f *Figure) TSV() string {
+	xset := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xset[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "\t%s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			if y, ok := s.YAt(x); ok {
+				fmt.Fprintf(&b, "\t%.4g", y)
+			} else {
+				b.WriteString("\t-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if f.Notes != "" {
+		fmt.Fprintf(&b, "# %s\n", f.Notes)
+	}
+	return b.String()
+}

@@ -1,0 +1,212 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"optanestudy/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if m := h.Mean(); math.Abs(m-50.5) > 1e-9 {
+		t.Fatalf("mean = %v", m)
+	}
+	p50 := h.Percentile(0.5)
+	if p50 < 45 || p50 > 55 {
+		t.Fatalf("p50 = %v", p50)
+	}
+	p99 := h.Percentile(0.99)
+	if p99 < 95 || p99 > 100 {
+		t.Fatalf("p99 = %v", p99)
+	}
+}
+
+func TestHistogramTail(t *testing.T) {
+	h := NewHistogram()
+	// 99990 fast ops at ~100, 10 outliers at 50000.
+	for i := 0; i < 99990; i++ {
+		h.Add(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(50000)
+	}
+	if p := h.Percentile(0.999); p > 110 {
+		t.Errorf("p99.9 = %v, want ~100", p)
+	}
+	if p := h.Percentile(0.99995); p < 40000 {
+		t.Errorf("p99.995 = %v, want ~50000", p)
+	}
+	if h.Max() != 50000 {
+		t.Errorf("max = %v", h.Max())
+	}
+}
+
+func TestHistogramPercentileMonotonic(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		h := NewHistogram()
+		for i := 0; i < 1000; i++ {
+			h.Add(r.Float64() * 1e6)
+		}
+		qs := []float64{0, 0.1, 0.5, 0.9, 0.99, 0.999, 1}
+		prev := math.Inf(-1)
+		for _, q := range qs {
+			p := h.Percentile(q)
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return h.Percentile(0) == h.Min() && h.Percentile(1) == h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramAccuracy(t *testing.T) {
+	// Bucketed percentile must be within ~2% of exact for a known stream.
+	r := sim.NewRNG(3)
+	h := NewHistogram()
+	var vals []float64
+	for i := 0; i < 50000; i++ {
+		v := 50 + r.Float64()*1000
+		h.Add(v)
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)))-1]
+		got := h.Percentile(q)
+		if rel := math.Abs(got-exact) / exact; rel > 0.02 {
+			t.Errorf("q=%v: got %v, exact %v (rel err %.3f)", q, got, exact, rel)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 100; i++ {
+		a.Add(10)
+		b.Add(1000)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	if a.Min() != 10 || a.Max() != 1000 {
+		t.Fatalf("min/max = %v/%v", a.Min(), a.Max())
+	}
+	if m := a.Mean(); math.Abs(m-505) > 1e-6 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-9 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	// Sample std of this classic set is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.Std()-want) > 1e-9 {
+		t.Fatalf("std = %v, want %v", s.Std(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestLinRegPerfectFit(t *testing.T) {
+	var l LinReg
+	for x := 0.0; x < 10; x++ {
+		l.Add(x, 3+2*x)
+	}
+	if math.Abs(l.Slope()-2) > 1e-9 {
+		t.Fatalf("slope = %v", l.Slope())
+	}
+	if math.Abs(l.Intercept()-3) > 1e-9 {
+		t.Fatalf("intercept = %v", l.Intercept())
+	}
+	if math.Abs(l.R2()-1) > 1e-9 {
+		t.Fatalf("r2 = %v", l.R2())
+	}
+}
+
+func TestLinRegNoisy(t *testing.T) {
+	var l LinReg
+	r := sim.NewRNG(11)
+	for i := 0; i < 1000; i++ {
+		x := r.Float64()
+		y := 1.0*x + (r.Float64()-0.5)*0.2
+		l.Add(x, y)
+	}
+	if s := l.Slope(); s < 0.9 || s > 1.1 {
+		t.Fatalf("slope = %v", s)
+	}
+	if r2 := l.R2(); r2 < 0.85 {
+		t.Fatalf("r2 = %v", r2)
+	}
+}
+
+func TestLinRegDegenerate(t *testing.T) {
+	var l LinReg
+	l.Add(1, 5)
+	l.Add(1, 7) // vertical: zero x-variance
+	if l.Slope() != 0 || l.R2() != 0 {
+		t.Fatalf("degenerate fit: slope=%v r2=%v", l.Slope(), l.R2())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "read"
+	s.Add(1, 10)
+	s.Add(2, 30)
+	s.Add(4, 20)
+	if y, ok := s.YAt(2); !ok || y != 30 {
+		t.Fatalf("YAt(2) = %v, %v", y, ok)
+	}
+	if _, ok := s.YAt(3); ok {
+		t.Fatal("YAt(3) should be absent")
+	}
+	x, y := s.MaxY()
+	if x != 2 || y != 30 {
+		t.Fatalf("MaxY = (%v, %v)", x, y)
+	}
+}
+
+func TestFigureTSV(t *testing.T) {
+	f := Figure{
+		ID: "figX", Title: "test", XLabel: "threads",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Name: "b", X: []float64{2}, Y: []float64{5}},
+		},
+	}
+	got := f.TSV()
+	want := "# figX: test\nthreads\ta\tb\n1\t10\t-\n2\t20\t5\n"
+	if got != want {
+		t.Fatalf("TSV:\n%q\nwant:\n%q", got, want)
+	}
+	if f.Get("b") == nil || f.Get("c") != nil {
+		t.Fatal("Get lookup broken")
+	}
+}

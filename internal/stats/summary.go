@@ -1,0 +1,104 @@
+package stats
+
+import "math"
+
+// Summary accumulates streaming mean and variance (Welford's algorithm).
+type Summary struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one sample.
+func (s *Summary) Add(v float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	d := v - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v - s.mean)
+}
+
+// N returns the sample count.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the sample mean.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the sample variance (n-1 denominator).
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest sample.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest sample.
+func (s *Summary) Max() float64 { return s.max }
+
+// LinReg is an ordinary least-squares fit of y = a + b*x, with the
+// coefficient of determination r². The paper uses this to correlate EWR with
+// device bandwidth (Figure 9).
+type LinReg struct {
+	n                     int64
+	sx, sy, sxx, sxy, syy float64
+}
+
+// Add records one (x, y) observation.
+func (l *LinReg) Add(x, y float64) {
+	l.n++
+	l.sx += x
+	l.sy += y
+	l.sxx += x * x
+	l.sxy += x * y
+	l.syy += y * y
+}
+
+// N returns the observation count.
+func (l *LinReg) N() int64 { return l.n }
+
+// Slope returns b in y = a + b*x.
+func (l *LinReg) Slope() float64 {
+	n := float64(l.n)
+	den := n*l.sxx - l.sx*l.sx
+	if den == 0 {
+		return 0
+	}
+	return (n*l.sxy - l.sx*l.sy) / den
+}
+
+// Intercept returns a in y = a + b*x.
+func (l *LinReg) Intercept() float64 {
+	if l.n == 0 {
+		return 0
+	}
+	return (l.sy - l.Slope()*l.sx) / float64(l.n)
+}
+
+// R2 returns the coefficient of determination of the fit.
+func (l *LinReg) R2() float64 {
+	n := float64(l.n)
+	dx := n*l.sxx - l.sx*l.sx
+	dy := n*l.syy - l.sy*l.sy
+	if dx == 0 || dy == 0 {
+		return 0
+	}
+	r := (n*l.sxy - l.sx*l.sy) / math.Sqrt(dx*dy)
+	return r * r
+}

@@ -1,0 +1,180 @@
+// Package topology describes how the platform's memory is laid out: two
+// sockets, six channels per socket, one DRAM and one 3D XPoint DIMM per
+// channel, and pmem-style namespaces that map a contiguous logical space
+// onto one or more DIMMs with 4 KB interleaving (Figure 1(c): 4 KB chunk,
+// 24 KB stripe across six DIMMs).
+package topology
+
+import (
+	"fmt"
+
+	"optanestudy/internal/mem"
+)
+
+// Geometry is the machine shape. The paper's testbed has 2 sockets × 2 iMCs
+// × 3 channels.
+type Geometry struct {
+	Sockets           int
+	ChannelsPerSocket int
+}
+
+// DefaultGeometry returns the paper's testbed shape.
+func DefaultGeometry() Geometry {
+	return Geometry{Sockets: 2, ChannelsPerSocket: 6}
+}
+
+// Validate checks the geometry.
+func (g Geometry) Validate() error {
+	if g.Sockets < 1 || g.ChannelsPerSocket < 1 {
+		return fmt.Errorf("topology: invalid geometry %+v", g)
+	}
+	return nil
+}
+
+// Media selects which DIMM kind a namespace lives on.
+type Media int
+
+// Namespace media kinds.
+const (
+	MediaDRAM Media = iota
+	MediaXP
+)
+
+func (m Media) String() string {
+	if m == MediaDRAM {
+		return "dram"
+	}
+	return "xp"
+}
+
+// Namespace is a contiguous logical byte range backed by one or more DIMMs
+// on a single socket, in the style of Linux pmem namespaces (Section 2.3).
+type Namespace struct {
+	Name   string
+	Socket int
+	Media  Media
+	Size   int64
+
+	// Channels lists the participating channels on Socket, in interleave
+	// order. One channel means non-interleaved (Optane-NI).
+	Channels []int
+	// Granularity is the interleave chunk size (4 KB on this platform).
+	Granularity int64
+	// Base is the namespace's offset in the global physical address space
+	// (used to key caches and the backing data store).
+	Base int64
+	// DIMMBase, indexed like Channels, is the local offset this namespace
+	// occupies on each participating DIMM.
+	DIMMBase []int64
+}
+
+// Contains reports whether the offset lies inside the namespace.
+func (ns *Namespace) Contains(off int64) bool { return off >= 0 && off < ns.Size }
+
+// GlobalAddr converts a namespace offset into a global physical address.
+func (ns *Namespace) GlobalAddr(off int64) int64 { return ns.Base + off }
+
+// Resolve maps a namespace offset to the participating channel index (a
+// position in Channels) and the address local to that channel's DIMM.
+func (ns *Namespace) Resolve(off int64) (chanPos int, local int64) {
+	n := int64(len(ns.Channels))
+	if n == 1 {
+		return 0, ns.DIMMBase[0] + off
+	}
+	chunk := off / ns.Granularity
+	chanPos = int(chunk % n)
+	local = ns.DIMMBase[chanPos] + (chunk/n)*ns.Granularity + off%ns.Granularity
+	return chanPos, local
+}
+
+// Channel returns the socket-relative channel id for position pos.
+func (ns *Namespace) Channel(pos int) int { return ns.Channels[pos] }
+
+// StripeSize returns the full interleave stripe (granularity × ways).
+func (ns *Namespace) StripeSize() int64 {
+	return ns.Granularity * int64(len(ns.Channels))
+}
+
+// Layout allocates namespaces over the machine, tracking per-DIMM usage and
+// assigning disjoint global address ranges.
+type Layout struct {
+	geom Geometry
+	// used[socket][channel][media] = bytes allocated on that DIMM
+	used     [][][2]int64
+	nextBase int64
+	names    map[string]bool
+}
+
+// NewLayout returns an empty layout for the geometry.
+func NewLayout(geom Geometry) (*Layout, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	used := make([][][2]int64, geom.Sockets)
+	for s := range used {
+		used[s] = make([][2]int64, geom.ChannelsPerSocket)
+	}
+	return &Layout{geom: geom, used: used, names: make(map[string]bool)}, nil
+}
+
+// Spec describes a namespace to create.
+type Spec struct {
+	Name        string
+	Socket      int
+	Media       Media
+	Size        int64
+	Channels    []int // nil means all channels on the socket (interleaved)
+	Granularity int64 // 0 means 4 KB
+}
+
+// Create allocates a namespace. Sizes round up to a full stripe.
+func (l *Layout) Create(spec Spec) (*Namespace, error) {
+	if spec.Name == "" || l.names[spec.Name] {
+		return nil, fmt.Errorf("topology: invalid or duplicate namespace name %q", spec.Name)
+	}
+	if spec.Socket < 0 || spec.Socket >= l.geom.Sockets {
+		return nil, fmt.Errorf("topology: socket %d out of range", spec.Socket)
+	}
+	if spec.Size <= 0 {
+		return nil, fmt.Errorf("topology: namespace size must be positive")
+	}
+	channels := spec.Channels
+	if channels == nil {
+		channels = make([]int, l.geom.ChannelsPerSocket)
+		for i := range channels {
+			channels[i] = i
+		}
+	}
+	seen := make(map[int]bool)
+	for _, c := range channels {
+		if c < 0 || c >= l.geom.ChannelsPerSocket || seen[c] {
+			return nil, fmt.Errorf("topology: bad channel list %v", channels)
+		}
+		seen[c] = true
+	}
+	gran := spec.Granularity
+	if gran == 0 {
+		gran = mem.Page
+	}
+	stripe := gran * int64(len(channels))
+	size := (spec.Size + stripe - 1) / stripe * stripe
+
+	ns := &Namespace{
+		Name:        spec.Name,
+		Socket:      spec.Socket,
+		Media:       spec.Media,
+		Size:        size,
+		Channels:    channels,
+		Granularity: gran,
+		Base:        l.nextBase,
+		DIMMBase:    make([]int64, len(channels)),
+	}
+	perDIMM := size / int64(len(channels))
+	for i, c := range channels {
+		ns.DIMMBase[i] = l.used[spec.Socket][c][spec.Media]
+		l.used[spec.Socket][c][spec.Media] += perDIMM
+	}
+	l.nextBase += size + mem.Page // guard page between namespaces
+	l.names[spec.Name] = true
+	return ns, nil
+}

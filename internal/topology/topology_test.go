@@ -1,0 +1,152 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"optanestudy/internal/mem"
+	"optanestudy/internal/sim"
+)
+
+func layout(t *testing.T) *Layout {
+	t.Helper()
+	l, err := NewLayout(DefaultGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestInterleavedMapping(t *testing.T) {
+	l := layout(t)
+	ns, err := l.Create(Spec{Name: "optane", Socket: 0, Media: MediaXP, Size: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First 4 KB on channel 0, next on channel 1, ... (Figure 1(c)).
+	for i := 0; i < 12; i++ {
+		pos, local := ns.Resolve(int64(i) * mem.Page)
+		if pos != i%6 {
+			t.Fatalf("chunk %d on channel pos %d, want %d", i, pos, i%6)
+		}
+		wantLocal := int64(i/6) * mem.Page
+		if local != wantLocal {
+			t.Fatalf("chunk %d local = %d, want %d", i, local, wantLocal)
+		}
+	}
+	if ns.StripeSize() != 24*1024 {
+		t.Fatalf("stripe = %d, want 24KB", ns.StripeSize())
+	}
+}
+
+func TestNonInterleavedMapping(t *testing.T) {
+	l := layout(t)
+	ns, err := l.Create(Spec{Name: "ni", Socket: 0, Media: MediaXP, Size: 1 << 20, Channels: []int{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int64{0, 4096, 100000} {
+		pos, local := ns.Resolve(off)
+		if pos != 0 || local != off {
+			t.Fatalf("NI resolve(%d) = (%d, %d)", off, pos, local)
+		}
+	}
+	if ns.Channel(0) != 3 {
+		t.Fatal("channel id lost")
+	}
+}
+
+func TestMappingBijection(t *testing.T) {
+	l := layout(t)
+	ns, err := l.Create(Spec{Name: "x", Socket: 0, Media: MediaXP, Size: 1 << 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		seen := make(map[[2]int64]bool)
+		offs := make(map[int64]bool)
+		for i := 0; i < 500; i++ {
+			off := r.Int63n(ns.Size) &^ 63
+			if offs[off] {
+				continue
+			}
+			offs[off] = true
+			pos, local := ns.Resolve(off)
+			key := [2]int64{int64(pos), local}
+			if seen[key] {
+				return false // collision: two offsets map to one DIMM address
+			}
+			seen[key] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMappingContiguityWithinChunk(t *testing.T) {
+	l := layout(t)
+	ns, _ := l.Create(Spec{Name: "x", Socket: 0, Media: MediaXP, Size: 1 << 24})
+	// All addresses within one 4 KB chunk stay on one DIMM, contiguous.
+	base := int64(7 * mem.Page)
+	pos0, local0 := ns.Resolve(base)
+	for off := int64(1); off < mem.Page; off += 64 {
+		pos, local := ns.Resolve(base + off)
+		if pos != pos0 || local != local0+off {
+			t.Fatalf("intra-chunk split at +%d", off)
+		}
+	}
+}
+
+func TestLayoutStacksNamespacesOnDIMMs(t *testing.T) {
+	l := layout(t)
+	a, _ := l.Create(Spec{Name: "a", Socket: 0, Media: MediaXP, Size: 1 << 20, Channels: []int{0}})
+	b, _ := l.Create(Spec{Name: "b", Socket: 0, Media: MediaXP, Size: 1 << 20, Channels: []int{0}})
+	_, la := a.Resolve(0)
+	_, lb := b.Resolve(0)
+	if la == lb {
+		t.Fatal("two namespaces overlap on the same DIMM")
+	}
+	if b.DIMMBase[0] != a.Size {
+		t.Fatalf("b starts at %d, want after a (%d)", b.DIMMBase[0], a.Size)
+	}
+}
+
+func TestLayoutDistinctGlobalRanges(t *testing.T) {
+	l := layout(t)
+	a, _ := l.Create(Spec{Name: "a", Socket: 0, Media: MediaDRAM, Size: 1 << 20})
+	b, _ := l.Create(Spec{Name: "b", Socket: 1, Media: MediaXP, Size: 1 << 20})
+	if a.GlobalAddr(a.Size-1) >= b.GlobalAddr(0) {
+		t.Fatal("global ranges overlap")
+	}
+}
+
+func TestLayoutRejectsBadSpecs(t *testing.T) {
+	l := layout(t)
+	if _, err := l.Create(Spec{Name: "", Socket: 0, Media: MediaXP, Size: 4096}); err == nil {
+		t.Error("empty name accepted")
+	}
+	l.Create(Spec{Name: "dup", Socket: 0, Media: MediaXP, Size: 4096})
+	if _, err := l.Create(Spec{Name: "dup", Socket: 0, Media: MediaXP, Size: 4096}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := l.Create(Spec{Name: "s", Socket: 9, Media: MediaXP, Size: 4096}); err == nil {
+		t.Error("bad socket accepted")
+	}
+	if _, err := l.Create(Spec{Name: "c", Socket: 0, Media: MediaXP, Size: 4096, Channels: []int{0, 0}}); err == nil {
+		t.Error("duplicate channels accepted")
+	}
+	if _, err := l.Create(Spec{Name: "z", Socket: 0, Media: MediaXP, Size: 0}); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestSizeRoundsToStripe(t *testing.T) {
+	l := layout(t)
+	ns, _ := l.Create(Spec{Name: "r", Socket: 0, Media: MediaXP, Size: 1000})
+	if ns.Size != 24*1024 {
+		t.Fatalf("size = %d, want one 24KB stripe", ns.Size)
+	}
+}

@@ -1,0 +1,28 @@
+// Package vfs defines the file-system interface shared by the study's
+// persistent-memory file systems (novafs, daxfs) and consumed by the
+// FIO-style benchmark.
+package vfs
+
+import "optanestudy/internal/platform"
+
+// FS is a mounted file system instance.
+type FS interface {
+	// Create makes (or truncates) a file and opens it.
+	Create(ctx *platform.MemCtx, name string) (File, error)
+	// Open opens an existing file.
+	Open(ctx *platform.MemCtx, name string) (File, error)
+	// Name identifies the file system variant (for reports).
+	Name() string
+}
+
+// File is an open file handle.
+type File interface {
+	// WriteAt writes data at the byte offset.
+	WriteAt(ctx *platform.MemCtx, off int64, data []byte) error
+	// ReadAt fills buf from the byte offset.
+	ReadAt(ctx *platform.MemCtx, off int64, buf []byte) error
+	// Sync makes previous writes durable (fsync).
+	Sync(ctx *platform.MemCtx) error
+	// Size returns the current file size.
+	Size() int64
+}

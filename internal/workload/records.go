@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"encoding/binary"
+
+	"optanestudy/internal/sim"
+)
+
+// Record is one key-value pair for the db_bench-style workloads.
+type Record struct {
+	Key   []byte
+	Value []byte
+}
+
+// RecordGen produces key-value records with fixed key and value sizes, like
+// RocksDB's db_bench (the paper uses 20-byte keys and 100-byte values).
+type RecordGen struct {
+	rng       *sim.RNG
+	keySize   int
+	valueSize int
+	keySpace  int64
+	zipf      *Zipf // nil means uniform
+	seq       int64
+	useSeq    bool
+}
+
+// NewRecordGen returns a generator of uniformly random keys in a key space.
+func NewRecordGen(keySize, valueSize int, keySpace int64, seed uint64) *RecordGen {
+	if keySize < 8 || valueSize < 0 || keySpace <= 0 {
+		panic("workload: bad record generator parameters")
+	}
+	return &RecordGen{
+		rng:       sim.NewRNG(seed),
+		keySize:   keySize,
+		valueSize: valueSize,
+		keySpace:  keySpace,
+	}
+}
+
+// NewZipfRecordGen returns a generator with Zipfian key popularity.
+func NewZipfRecordGen(keySize, valueSize int, keySpace int64, theta float64, seed uint64) *RecordGen {
+	g := NewRecordGen(keySize, valueSize, keySpace, seed)
+	g.zipf = NewZipf(keySpace, theta, seed+1)
+	return g
+}
+
+// NewSeqRecordGen returns a generator producing keys 0, 1, 2, ... — the
+// fillseq-style load phase.
+func NewSeqRecordGen(keySize, valueSize int, seed uint64) *RecordGen {
+	g := NewRecordGen(keySize, valueSize, 1<<62, seed)
+	g.useSeq = true
+	return g
+}
+
+// KeySize returns the generated key length in bytes.
+func (g *RecordGen) KeySize() int { return g.keySize }
+
+// ValueSize returns the generated value length in bytes.
+func (g *RecordGen) ValueSize() int { return g.valueSize }
+
+func (g *RecordGen) nextID() int64 {
+	switch {
+	case g.useSeq:
+		id := g.seq
+		g.seq++
+		return id
+	case g.zipf != nil:
+		return g.zipf.Next()
+	default:
+		return g.rng.Int63n(g.keySpace)
+	}
+}
+
+// KeyFor renders the fixed-width key for id: an 8-byte big-endian id (so
+// byte order matches numeric order) padded with deterministic filler.
+func (g *RecordGen) KeyFor(id int64) []byte {
+	key := make([]byte, g.keySize)
+	binary.BigEndian.PutUint64(key, uint64(id))
+	for i := 8; i < g.keySize; i++ {
+		key[i] = byte('a' + (id+int64(i))%26)
+	}
+	return key
+}
+
+// Next produces the next record.
+func (g *RecordGen) Next() Record {
+	id := g.nextID()
+	val := make([]byte, g.valueSize)
+	fill := g.rng.Uint64()
+	for i := range val {
+		val[i] = byte(fill >> (8 * (uint(i) % 8)))
+		if i%8 == 7 {
+			fill = g.rng.Uint64()
+		}
+	}
+	return Record{Key: g.KeyFor(id), Value: val}
+}

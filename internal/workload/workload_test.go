@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialWraps(t *testing.T) {
+	p := NewSequential(256, 64)
+	want := []int64{0, 64, 128, 192, 0, 64}
+	for i, w := range want {
+		if got := p.Next(); got != w {
+			t.Fatalf("access %d: got %d, want %d", i, got, w)
+		}
+	}
+	p.Reset()
+	if p.Next() != 0 {
+		t.Fatal("reset did not restart")
+	}
+}
+
+func TestSequentialTruncatesRegion(t *testing.T) {
+	p := NewSequential(300, 64) // usable region truncates to 256
+	seen := map[int64]bool{}
+	for i := 0; i < 8; i++ {
+		seen[p.Next()] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("distinct offsets = %d, want 4", len(seen))
+	}
+}
+
+func TestRandomAlignedAndInRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := NewRandom(1<<20, 256, seed)
+		for i := 0; i < 1000; i++ {
+			off := p.Next()
+			if off < 0 || off >= 1<<20 || off%256 != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomResetReproduces(t *testing.T) {
+	p := NewRandom(1<<16, 64, 99)
+	var first []int64
+	for i := 0; i < 50; i++ {
+		first = append(first, p.Next())
+	}
+	p.Reset()
+	for i := 0; i < 50; i++ {
+		if p.Next() != first[i] {
+			t.Fatal("reset stream diverged")
+		}
+	}
+}
+
+func TestRandomCoversRegion(t *testing.T) {
+	p := NewRandom(1024, 256, 5) // 4 blocks
+	seen := map[int64]bool{}
+	for i := 0; i < 200; i++ {
+		seen[p.Next()] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("covered %d blocks, want 4", len(seen))
+	}
+}
+
+func TestStride(t *testing.T) {
+	p := NewStride(1024, 256)
+	want := []int64{0, 256, 512, 768, 0}
+	for i, w := range want {
+		if got := p.Next(); got != w {
+			t.Fatalf("access %d: got %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestHotspot(t *testing.T) {
+	p := NewHotspot(4096, 512, 64)
+	for i := 0; i < 20; i++ {
+		off := p.Next()
+		if off < 4096 || off >= 4096+512 {
+			t.Fatalf("offset %d outside hotspot", off)
+		}
+	}
+}
+
+func TestMixDeterministicPattern(t *testing.T) {
+	m := NewMix(3, 1)
+	var got []bool
+	for i := 0; i < 8; i++ {
+		got = append(got, m.NextIsRead())
+	}
+	want := []bool{true, true, true, false, true, true, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mix pattern = %v, want %v", got, want)
+		}
+	}
+	if m.ReadFraction() != 0.75 {
+		t.Fatalf("read fraction = %v", m.ReadFraction())
+	}
+}
+
+func TestMixStrings(t *testing.T) {
+	if NewMix(1, 0).String() != "R" {
+		t.Error("read-only label")
+	}
+	if NewMix(0, 1).String() != "W" {
+		t.Error("write-only label")
+	}
+	if NewMix(2, 1).String() != "R:W (2:1)" {
+		t.Errorf("mix label = %q", NewMix(2, 1).String())
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(1000, 0.99, 42)
+	counts := make([]int, 1000)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Item 0 must dominate; top-10 should hold a large share.
+	if counts[0] < counts[500]*10 {
+		t.Errorf("item 0 (%d) not much hotter than item 500 (%d)", counts[0], counts[500])
+	}
+	top10 := 0
+	for i := 0; i < 10; i++ {
+		top10 += counts[i]
+	}
+	if float64(top10)/n < 0.3 {
+		t.Errorf("top-10 share = %.3f, want >= 0.3", float64(top10)/n)
+	}
+}
+
+func TestZipfLargeKeyspace(t *testing.T) {
+	z := NewZipf(100_000_000, 0.99, 1)
+	for i := 0; i < 1000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100_000_000 {
+			t.Fatalf("out of range: %d", v)
+		}
+	}
+}
+
+func TestRecordGenShapes(t *testing.T) {
+	g := NewRecordGen(20, 100, 1<<20, 7)
+	r := g.Next()
+	if len(r.Key) != 20 || len(r.Value) != 100 {
+		t.Fatalf("record shape = %d/%d", len(r.Key), len(r.Value))
+	}
+}
+
+func TestRecordGenKeyOrdering(t *testing.T) {
+	g := NewSeqRecordGen(20, 100, 7)
+	prev := g.Next()
+	for i := 0; i < 100; i++ {
+		cur := g.Next()
+		if bytes.Compare(prev.Key, cur.Key) >= 0 {
+			t.Fatal("sequential keys not byte-ordered")
+		}
+		prev = cur
+	}
+}
+
+func TestRecordGenKeyForDeterministic(t *testing.T) {
+	g := NewRecordGen(20, 100, 1<<20, 7)
+	if !bytes.Equal(g.KeyFor(12345), g.KeyFor(12345)) {
+		t.Fatal("KeyFor not deterministic")
+	}
+	if bytes.Equal(g.KeyFor(1), g.KeyFor(2)) {
+		t.Fatal("distinct ids collide")
+	}
+}

@@ -1,0 +1,91 @@
+// Package optanestudy is a full reproduction of "An Empirical Guide to the
+// Behavior and Use of Scalable Persistent Memory" (Yang et al., FAST 2020)
+// as a Go library.
+//
+// Because Optane DIMMs are a hardware gate, the library is built on a
+// functional + timing discrete-event simulator of the paper's two-socket
+// testbed (see DESIGN.md for the substitution argument and calibration).
+// On top of the simulated platform it provides:
+//
+//   - the LATTester microbenchmark toolkit (the paper's primary artifact),
+//   - runners regenerating every data figure of the evaluation,
+//   - and the software stacks the paper studies: a PMDK-style object
+//     library with micro-buffering, a PMemKV-style concurrent hash map, a
+//     RocksDB-style LSM store with three persistence strategies, a
+//     NOVA-style file system with the datalog and multi-DIMM
+//     optimizations, DAX file-system comparators, and a fio-style
+//     benchmark.
+//
+// # Quick start
+//
+//	p := optanestudy.NewPlatform(optanestudy.DefaultConfig())
+//	ns, _ := p.Optane("pm", 0, 1<<30)
+//	p.Go("t0", 0, func(ctx *optanestudy.MemCtx) {
+//		ctx.PersistNT(ns, 0, 5, []byte("hello"))
+//	})
+//	p.Run()
+//
+// The memory-context API mirrors the persistence ISA the paper studies:
+// Load, Store, NTStore, CLWB, CLFlush, CLFlushOpt, SFence, plus the
+// PersistNT/PersistStore idioms, and Crash/ReadDurable for crash testing.
+package optanestudy
+
+import (
+	"optanestudy/internal/figures"
+	"optanestudy/internal/lattester"
+	"optanestudy/internal/platform"
+	"optanestudy/internal/sim"
+	"optanestudy/internal/stats"
+	"optanestudy/internal/topology"
+)
+
+// Core platform types.
+type (
+	// Platform is one simulated two-socket machine.
+	Platform = platform.Platform
+	// Config is the full machine configuration.
+	Config = platform.Config
+	// MemCtx is a simulated thread's memory context (the persistence ISA).
+	MemCtx = platform.MemCtx
+	// Namespace is a pmem-style namespace.
+	Namespace = platform.Namespace
+	// NamespaceSpec describes a namespace to create.
+	NamespaceSpec = topology.Spec
+	// Time is simulated time (picoseconds).
+	Time = sim.Time
+	// Figure is regenerated figure data.
+	Figure = stats.Figure
+	// FigureRunner regenerates one of the paper's figures.
+	FigureRunner = figures.Runner
+	// BenchSpec configures a LATTester measurement.
+	BenchSpec = lattester.Spec
+	// BenchResult is a LATTester measurement outcome.
+	BenchResult = lattester.Result
+)
+
+// DefaultConfig returns the calibrated model of the paper's testbed.
+func DefaultConfig() Config { return platform.DefaultConfig() }
+
+// PMEPConfig returns the Persistent Memory Emulator Platform emulation.
+func PMEPConfig() Config { return platform.PMEPConfig() }
+
+// NewPlatform assembles a platform, panicking on config errors.
+func NewPlatform(cfg Config) *Platform { return platform.MustNew(cfg) }
+
+// Measure runs one LATTester measurement (bandwidth, EWR, optional latency
+// histogram) against a namespace.
+func Measure(spec BenchSpec) BenchResult { return lattester.Run(spec) }
+
+// Figures returns the runners that regenerate every data figure of the
+// paper (Figures 2–19, excluding the diagrams 1 and 11).
+func Figures() []FigureRunner { return figures.All() }
+
+// FigureByID returns a single figure runner, or nil.
+func FigureByID(id string) *FigureRunner { return figures.Lookup(id) }
+
+// QuickQuality and FullQuality trade run time for fidelity in figure
+// regeneration.
+const (
+	QuickQuality = figures.Quick
+	FullQuality  = figures.Full
+)
