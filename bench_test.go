@@ -1,8 +1,8 @@
-// Benchmarks regenerating every data figure of the paper (deliverable d).
-// Each BenchmarkFigN runs the corresponding experiment and reports its
-// headline numbers as custom metrics; `go test -bench . -benchmem` thus
-// reproduces the whole evaluation. Ablation benchmarks isolate the
-// microarchitectural mechanisms DESIGN.md calls out.
+// Benchmarks driving the unified harness (internal/harness): the figure
+// regenerations and the headline scenarios run through exactly the specs
+// the cmd/* CLIs execute, so `go test -bench .` and the CLIs can never
+// disagree. Ablation benchmarks isolate the microarchitectural mechanisms
+// DESIGN.md calls out.
 package optanestudy_test
 
 import (
@@ -10,150 +10,187 @@ import (
 
 	"optanestudy"
 	"optanestudy/internal/dimm"
-	"optanestudy/internal/figures"
+	"optanestudy/internal/harness"
 	"optanestudy/internal/lattester"
 	"optanestudy/internal/platform"
+	_ "optanestudy/internal/scenarios"
 	"optanestudy/internal/sim"
 )
 
-// benchFigure runs a figure's Quick regeneration once per iteration and
-// reports selected (series, x) values as metrics.
-func benchFigure(b *testing.B, id string, metrics map[string][2]interface{}) {
-	r := figures.Lookup(id)
-	if r == nil {
-		b.Fatalf("unknown figure %s", id)
-	}
+// benchSpec runs one harness spec per iteration and reports selected
+// result metrics (metric name -> Result.Metrics key) plus mean throughput
+// when the scenario produces one.
+func benchSpec(b *testing.B, spec harness.Spec, metrics map[string]string) {
 	for i := 0; i < b.N; i++ {
-		figs := r.Run(figures.Quick)
+		res, err := harness.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if i == b.N-1 {
-			for name, sel := range metrics {
-				figID := sel[0].(string)
-				series := sel[1].(string)
-				for _, f := range figs {
-					if f.ID != figID {
-						continue
-					}
-					if s := f.Get(series); s != nil && len(s.Y) > 0 {
-						_, best := s.MaxY()
-						b.ReportMetric(best, name)
-					}
+			if res.GBs.Mean > 0 {
+				b.ReportMetric(res.GBs.Mean, "GBs")
+			}
+			for name, key := range metrics {
+				if agg, ok := res.Metrics[key]; ok {
+					b.ReportMetric(agg.Mean, name)
 				}
 			}
 		}
 	}
 }
 
+// benchFigure runs a figure scenario and reports per-series maxima from
+// the flattened "<figID>/<series>/max" metrics.
+func benchFigure(b *testing.B, id string, metrics map[string]string) {
+	benchSpec(b, harness.Spec{Scenario: "figures/" + id}, metrics)
+}
+
 func BenchmarkFig2Latency(b *testing.B) {
-	benchFigure(b, "fig2", map[string][2]interface{}{
-		"optane-ns": {"fig2", "Optane"},
-		"dram-ns":   {"fig2", "DRAM"},
+	benchFigure(b, "fig2", map[string]string{
+		"optane-ns": "fig2/Optane/max",
+		"dram-ns":   "fig2/DRAM/max",
 	})
 }
 
 func BenchmarkFig3TailLatency(b *testing.B) {
-	benchFigure(b, "fig3", map[string][2]interface{}{
-		"max-us": {"fig3", "Max"},
+	benchFigure(b, "fig3", map[string]string{
+		"max-us": "fig3/Max/max",
 	})
 }
 
 func BenchmarkFig4ThreadScaling(b *testing.B) {
-	benchFigure(b, "fig4", map[string][2]interface{}{
-		"dram-read-GBs":   {"fig4-DRAM", "Read"},
-		"optane-read-GBs": {"fig4-Optane", "Read"},
-		"ni-write-GBs":    {"fig4-Optane-NI", "Write(ntstore)"},
+	benchFigure(b, "fig4", map[string]string{
+		"dram-read-GBs":   "fig4-DRAM/Read/max",
+		"optane-read-GBs": "fig4-Optane/Read/max",
+		"ni-write-GBs":    "fig4-Optane-NI/Write(ntstore)/max",
 	})
 }
 
 func BenchmarkFig5AccessSize(b *testing.B) {
-	benchFigure(b, "fig5", map[string][2]interface{}{
-		"optane-read-GBs": {"fig5-Optane", "Read"},
+	benchFigure(b, "fig5", map[string]string{
+		"optane-read-GBs": "fig5-Optane/Read/max",
 	})
 }
 
 func BenchmarkFig6LoadedLatency(b *testing.B) {
-	benchFigure(b, "fig6", map[string][2]interface{}{
-		"read-lat-ns": {"fig6-read", "Optane-Rand"},
+	benchFigure(b, "fig6", map[string]string{
+		"read-lat-ns": "fig6-read/Optane-Rand/max",
 	})
 }
 
 func BenchmarkFig7Emulation(b *testing.B) {
-	benchFigure(b, "fig7", map[string][2]interface{}{
-		"optane-mix-GBs": {"fig7-mix", "Optane"},
-		"pmep-mix-GBs":   {"fig7-mix", "PMEP"},
+	benchFigure(b, "fig7", map[string]string{
+		"optane-mix-GBs": "fig7-mix/Optane/max",
+		"pmep-mix-GBs":   "fig7-mix/PMEP/max",
 	})
 }
 
 func BenchmarkFig8RocksDB(b *testing.B) {
-	benchFigure(b, "fig8", map[string][2]interface{}{
-		"dram-kops": {"fig8-dram", "DRAM"},
-		"3dxp-kops": {"fig8-optane", "3DXP"},
+	benchFigure(b, "fig8", map[string]string{
+		"dram-kops": "fig8-dram/DRAM/max",
+		"3dxp-kops": "fig8-optane/3DXP/max",
 	})
 }
 
 func BenchmarkFig9EWRCorrelation(b *testing.B) {
-	benchFigure(b, "fig9", map[string][2]interface{}{
-		"ntstore-max-GBs": {"fig9", "ntstore"},
+	benchFigure(b, "fig9", map[string]string{
+		"ntstore-max-GBs": "fig9/ntstore/max",
 	})
 }
 
 func BenchmarkFig10XPBufferProbe(b *testing.B) {
-	benchFigure(b, "fig10", map[string][2]interface{}{
-		"max-WA": {"fig10", "WA"},
+	benchFigure(b, "fig10", map[string]string{
+		"max-WA": "fig10/WA/max",
 	})
 }
 
 func BenchmarkFig12FileIO(b *testing.B) {
-	benchFigure(b, "fig12", map[string][2]interface{}{
-		"nova-us":    {"fig12", "NOVA"},
-		"datalog-us": {"fig12", "NOVA-datalog"},
+	benchFigure(b, "fig12", map[string]string{
+		"nova-us":    "fig12/NOVA/max",
+		"datalog-us": "fig12/NOVA-datalog/max",
 	})
 }
 
 func BenchmarkFig13Instructions(b *testing.B) {
-	benchFigure(b, "fig13", map[string][2]interface{}{
-		"ntstore-GBs": {"fig13-bw", "ntstore"},
+	benchFigure(b, "fig13", map[string]string{
+		"ntstore-GBs": "fig13-bw/ntstore/max",
 	})
 }
 
 func BenchmarkFig14SfenceInterval(b *testing.B) {
-	benchFigure(b, "fig14", map[string][2]interface{}{
-		"clwb64-GBs": {"fig14", "clwb(every 64B)"},
+	benchFigure(b, "fig14", map[string]string{
+		"clwb64-GBs": "fig14/clwb(every 64B)/max",
 	})
 }
 
 func BenchmarkFig15MicroBuffering(b *testing.B) {
-	benchFigure(b, "fig15", map[string][2]interface{}{
-		"nt-us":   {"fig15", "PGL-NT"},
-		"clwb-us": {"fig15", "PGL-CLWB"},
+	benchFigure(b, "fig15", map[string]string{
+		"nt-us":   "fig15/PGL-NT/max",
+		"clwb-us": "fig15/PGL-CLWB/max",
 	})
 }
 
 func BenchmarkFig16IMCContention(b *testing.B) {
-	benchFigure(b, "fig16", map[string][2]interface{}{
-		"pinned-write-GBs": {"fig16-write", "1 Threads"},
-		"spread-write-GBs": {"fig16-write", "6 Threads"},
+	benchFigure(b, "fig16", map[string]string{
+		"pinned-write-GBs": "fig16-write/1 Threads/max",
+		"spread-write-GBs": "fig16-write/6 Threads/max",
 	})
 }
 
 func BenchmarkFig17MultiDIMMNova(b *testing.B) {
-	benchFigure(b, "fig17", map[string][2]interface{}{
-		"i-sync-GBs":  {"fig17-write", "I,sync"},
-		"ni-sync-GBs": {"fig17-write", "NI,sync"},
+	benchFigure(b, "fig17", map[string]string{
+		"i-sync-GBs":  "fig17-write/I,sync/max",
+		"ni-sync-GBs": "fig17-write/NI,sync/max",
 	})
 }
 
 func BenchmarkFig18NUMAMix(b *testing.B) {
-	benchFigure(b, "fig18", map[string][2]interface{}{
-		"local-4-GBs":  {"fig18", "Optane-4"},
-		"remote-4-GBs": {"fig18", "Optane-Remote-4"},
+	benchFigure(b, "fig18", map[string]string{
+		"local-4-GBs":  "fig18/Optane-4/max",
+		"remote-4-GBs": "fig18/Optane-Remote-4/max",
 	})
 }
 
 func BenchmarkFig19PMemKV(b *testing.B) {
-	benchFigure(b, "fig19", map[string][2]interface{}{
-		"optane-GBs": {"fig19", "Optane"},
-		"remote-GBs": {"fig19", "Optane-Remote"},
+	benchFigure(b, "fig19", map[string]string{
+		"optane-GBs": "fig19/Optane/max",
+		"remote-GBs": "fig19/Optane-Remote/max",
 	})
+}
+
+// ---- Headline scenarios: the same specs the CLIs run ----
+
+func BenchmarkScenarioSeqRead(b *testing.B) {
+	benchSpec(b, harness.Spec{
+		Scenario: "lattester/seq-read", Threads: 4,
+		Duration: 100 * sim.Microsecond,
+	}, nil)
+}
+
+func BenchmarkScenarioSeqNTStore(b *testing.B) {
+	benchSpec(b, harness.Spec{
+		Scenario: "lattester/seq-ntstore", Threads: 1,
+		Duration: 100 * sim.Microsecond,
+	}, map[string]string{"ewr": "ewr"})
+}
+
+func BenchmarkScenarioFIOSeqWrite(b *testing.B) {
+	benchSpec(b, harness.Spec{
+		Scenario: "fio/seq-write", Threads: 8, Ops: 32,
+	}, nil)
+}
+
+func BenchmarkScenarioLSMSet(b *testing.B) {
+	benchSpec(b, harness.Spec{
+		Scenario: "lsmkv/set-walflex", Ops: 800,
+	}, map[string]string{"kops": "kops_per_sec"})
+}
+
+func BenchmarkScenarioPMemKVOverwrite(b *testing.B) {
+	benchSpec(b, harness.Spec{
+		Scenario: "pmemkv/overwrite", Threads: 4,
+		Duration: 100 * sim.Microsecond,
+	}, nil)
 }
 
 // ---- Ablations: isolate the mechanisms DESIGN.md calls out ----

@@ -1,41 +1,24 @@
-// Command dbbench runs the RocksDB-style SET benchmark of Figure 8 across
-// the three persistence strategies, on DRAM-emulated persistent memory and
-// on the simulated 3D XPoint.
+// Command dbbench runs the RocksDB-style SET benchmark of Figure 8 through
+// the unified harness: three persistence strategies, on DRAM-emulated
+// persistent memory (-p dram=true) or simulated 3D XPoint.
+//
+// Usage:
+//
+//	dbbench -list
+//	dbbench -format=json -ops 4000 'lsmkv/*'
 package main
 
 import (
-	"flag"
-	"fmt"
-	"log"
+	"os"
 
-	"optanestudy/internal/lsmkv"
-	"optanestudy/internal/platform"
+	"optanestudy/internal/harness"
+	_ "optanestudy/internal/scenarios"
 )
 
 func main() {
-	ops := flag.Int("ops", 4000, "measured SET operations")
-	prepop := flag.Int("prepopulate", 20000, "records loaded before measuring")
-	flag.Parse()
-
-	modes := []lsmkv.Mode{lsmkv.ModeWALPOSIX, lsmkv.ModeWALFLEX, lsmkv.ModePersistentMemtable}
-	fmt.Printf("%-22s %12s %12s\n", "mode", "DRAM KOps/s", "3DXP KOps/s")
-	for _, mode := range modes {
-		var row [2]float64
-		for i, onDRAM := range []bool{true, false} {
-			cfg := platform.DefaultConfig()
-			cfg.TrackData = true
-			cfg.XP.Wear.Enabled = false
-			cfg.LLC.Lines = (512 << 10) / 64
-			p := platform.MustNew(cfg)
-			res, err := lsmkv.RunSetBench(lsmkv.BenchSpec{
-				Platform: p, PMOnDRAM: onDRAM, Mode: mode,
-				Ops: *ops, Prepopulate: *prepop, Seed: 8,
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			row[i] = res.KOpsSec
-		}
-		fmt.Printf("%-22s %12.0f %12.0f\n", mode, row[0], row[1])
-	}
+	os.Exit(harness.CLIMain(os.Args[1:], harness.CLIOptions{
+		Command:      "dbbench",
+		Doc:          "RocksDB-style LSM SET benchmarks across persistence strategies",
+		DefaultGlobs: []string{"lsmkv/*"},
+	}))
 }

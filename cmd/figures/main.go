@@ -1,52 +1,26 @@
 // Command figures regenerates the paper's data figures on the simulated
-// platform and prints each as a TSV table.
+// platform through the unified harness. The table format prints each
+// figure's TSV table; -format=json flattens every datapoint into the
+// shared result schema. Run at full fidelity with -p quality=full.
 //
 // Usage:
 //
-//	figures [-full] [fig2 fig4 ...]
-//
-// With no arguments every figure runs (Figures 2–19, skipping the diagram
-// figures 1 and 11).
+//	figures -list
+//	figures figures/fig2 figures/fig4
+//	figures -format=json -p quality=full 'figures/*'
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
-	"time"
 
-	"optanestudy/internal/figures"
+	"optanestudy/internal/harness"
+	_ "optanestudy/internal/scenarios"
 )
 
 func main() {
-	full := flag.Bool("full", false, "run at full fidelity (slower)")
-	flag.Parse()
-
-	quality := figures.Quick
-	if *full {
-		quality = figures.Full
-	}
-
-	var runners []figures.Runner
-	if flag.NArg() == 0 {
-		runners = figures.All()
-	} else {
-		for _, id := range flag.Args() {
-			r := figures.Lookup(id)
-			if r == nil {
-				fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", id)
-				os.Exit(2)
-			}
-			runners = append(runners, *r)
-		}
-	}
-
-	for _, r := range runners {
-		start := time.Now()
-		for _, fig := range r.Run(quality) {
-			fmt.Print(fig.TSV())
-			fmt.Println()
-		}
-		fmt.Fprintf(os.Stderr, "# %s (%s) done in %v\n", r.ID, r.Title, time.Since(start).Round(time.Millisecond))
-	}
+	os.Exit(harness.CLIMain(os.Args[1:], harness.CLIOptions{
+		Command:      "figures",
+		Doc:          "regenerate the paper's data figures (Figures 2-19)",
+		DefaultGlobs: []string{"figures/*"},
+	}))
 }

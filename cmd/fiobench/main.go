@@ -1,78 +1,23 @@
-// Command fiobench runs the FIO-style workloads of Figures 12 and 17
-// against the simulated file systems.
+// Command fiobench runs the FIO-style NOVA workloads of Figures 12 and 17
+// through the unified harness.
+//
+// Usage:
+//
+//	fiobench -list
+//	fiobench -format=json -p pinned=true 'fio/*'
 package main
 
 import (
-	"flag"
-	"fmt"
-	"log"
+	"os"
 
-	"optanestudy/internal/fio"
-	"optanestudy/internal/novafs"
-	"optanestudy/internal/platform"
-	"optanestudy/internal/vfs"
+	"optanestudy/internal/harness"
+	_ "optanestudy/internal/scenarios"
 )
 
 func main() {
-	threads := flag.Int("threads", 24, "worker threads")
-	bs := flag.Int("bs", 4096, "block size")
-	ops := flag.Int("ops", 64, "IOs per thread")
-	flag.Parse()
-
-	for _, pinned := range []bool{false, true} {
-		for _, rw := range []fio.RW{fio.Read, fio.Write} {
-			for _, pat := range []fio.Pattern{fio.Seq, fio.Rand} {
-				gbs, err := run(pinned, rw, pat, *threads, *bs, *ops)
-				if err != nil {
-					log.Fatal(err)
-				}
-				mount := "interleaved"
-				if pinned {
-					mount = "per-DIMM"
-				}
-				rwName := map[fio.RW]string{fio.Read: "read", fio.Write: "write"}[rw]
-				patName := map[fio.Pattern]string{fio.Seq: "seq", fio.Rand: "rand"}[pat]
-				fmt.Printf("%-12s %-5s %-5s %8.2f GB/s\n", mount, rwName, patName, gbs)
-			}
-		}
-	}
-}
-
-func run(pinned bool, rw fio.RW, pat fio.Pattern, threads, bs, ops int) (float64, error) {
-	cfg := platform.DefaultConfig()
-	cfg.TrackData = true
-	cfg.XP.Wear.Enabled = false
-	p := platform.MustNew(cfg)
-	var fs *novafs.FS
-	var create func(ctx *platform.MemCtx, name string, thread int) (vfs.File, error)
-	var err error
-	if pinned {
-		var nss []*platform.Namespace
-		for i := 0; i < 6; i++ {
-			ns, nerr := p.OptaneNI(fmt.Sprintf("z%d", i), 0, i, 192<<20)
-			if nerr != nil {
-				return 0, nerr
-			}
-			nss = append(nss, ns)
-		}
-		fs, err = novafs.Mount(nss, novafs.DefaultOptions(novafs.COW))
-		create = func(ctx *platform.MemCtx, name string, thread int) (vfs.File, error) {
-			return fs.CreateZone(ctx, name, thread%6)
-		}
-	} else {
-		ns, nerr := p.Optane("nova", 0, 1<<30)
-		if nerr != nil {
-			return 0, nerr
-		}
-		fs, err = novafs.Mount([]*platform.Namespace{ns}, novafs.DefaultOptions(novafs.COW))
-	}
-	if err != nil {
-		return 0, err
-	}
-	res, err := fio.Run(fio.Spec{
-		Platform: p, FS: fs, CreateFile: create, Threads: threads,
-		FileSize: 1 << 20, BS: bs, RW: rw, Pattern: pat, Sync: true,
-		OpsPerThrd: ops, Seed: 17,
-	})
-	return res.GBs, err
+	os.Exit(harness.CLIMain(os.Args[1:], harness.CLIOptions{
+		Command:      "fiobench",
+		Doc:          "FIO-style file IO benchmarks over the simulated NOVA file system",
+		DefaultGlobs: []string{"fio/*"},
+	}))
 }

@@ -1,86 +1,24 @@
-// Command lattester runs individual microbenchmark measurements against
-// the simulated platform, mirroring the paper's LATTester toolkit.
+// Command lattester runs the LATTester microbenchmark scenarios against
+// the simulated platform through the unified harness.
 //
 // Usage:
 //
-//	lattester -op ntstore -pattern seq -size 256 -threads 4 -system optane-ni
+//	lattester -list
+//	lattester lattester/seq-read lattester/rand-ntstore
+//	lattester -format=json -threads 4 -p op=ntstore -p system=optane-ni 'lattester/kernel'
 package main
 
 import (
-	"flag"
-	"fmt"
-	"log"
+	"os"
 
-	"optanestudy/internal/lattester"
-	"optanestudy/internal/platform"
-	"optanestudy/internal/sim"
+	"optanestudy/internal/harness"
+	_ "optanestudy/internal/scenarios"
 )
 
 func main() {
-	op := flag.String("op", "read", "operation: read, ntstore, store+clwb, store")
-	pattern := flag.String("pattern", "seq", "pattern: seq or rand")
-	size := flag.Int("size", 256, "access size in bytes")
-	threads := flag.Int("threads", 1, "thread count")
-	system := flag.String("system", "optane", "memory: optane, optane-ni, dram, optane-remote")
-	durUS := flag.Int("duration", 200, "measured window in simulated microseconds")
-	latency := flag.Bool("latency", false, "collect a latency histogram")
-	flag.Parse()
-
-	cfg := platform.DefaultConfig()
-	cfg.XP.Wear.Enabled = false
-	p := platform.MustNew(cfg)
-
-	var ns *platform.Namespace
-	var err error
-	socket := 0
-	switch *system {
-	case "optane":
-		ns, err = p.Optane("pm", 0, 2<<30)
-	case "optane-ni":
-		ns, err = p.OptaneNI("pm", 0, 0, 1<<30)
-	case "optane-remote":
-		ns, err = p.Optane("pm", 0, 2<<30)
-		socket = 1
-	case "dram":
-		ns, err = p.DRAM("pm", 0, 1<<30)
-	default:
-		log.Fatalf("unknown system %q", *system)
-	}
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	var opKind lattester.Op
-	switch *op {
-	case "read":
-		opKind = lattester.OpRead
-	case "ntstore":
-		opKind = lattester.OpNTStore
-	case "store+clwb":
-		opKind = lattester.OpStoreCLWB
-	case "store":
-		opKind = lattester.OpStore
-	default:
-		log.Fatalf("unknown op %q", *op)
-	}
-	pat := lattester.Sequential
-	if *pattern == "rand" {
-		pat = lattester.Random
-	}
-
-	res := lattester.Run(lattester.Spec{
-		NS: ns, Socket: socket, Op: opKind, Pattern: pat,
-		AccessSize: *size, Threads: *threads,
-		Duration:      sim.Time(*durUS) * sim.Microsecond,
-		RecordLatency: *latency,
-	})
-	fmt.Printf("system=%s op=%s pattern=%s size=%dB threads=%d\n",
-		*system, opKind, pat, *size, *threads)
-	fmt.Printf("bandwidth: %.3f GB/s over %v\n", res.GBs, res.Elapsed)
-	fmt.Printf("EWR: %.3f (%s)\n", res.EWR(), res.XP.String())
-	if res.Latency != nil {
-		fmt.Printf("latency ns: mean=%.1f p50=%.1f p99=%.1f p99.99=%.1f max=%.1f\n",
-			res.Latency.Mean(), res.Latency.Percentile(0.5),
-			res.Latency.Percentile(0.99), res.Latency.Percentile(0.9999), res.Latency.Max())
-	}
+	os.Exit(harness.CLIMain(os.Args[1:], harness.CLIOptions{
+		Command:      "lattester",
+		Doc:          "LATTester microbenchmarks on the simulated platform",
+		DefaultGlobs: []string{"lattester/*"},
+	}))
 }

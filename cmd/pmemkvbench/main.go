@@ -1,64 +1,25 @@
 // Command pmemkvbench runs the PMemKV cmap overwrite benchmark of
-// Figure 19 across local/remote DRAM and Optane placements.
+// Figure 19 through the unified harness: local or remote workers
+// (pmemkv/overwrite vs pmemkv/overwrite-remote) against a DRAM or Optane
+// pool (-p media=dram|optane).
+//
+// Usage:
+//
+//	pmemkvbench -list
+//	pmemkvbench -format=json -threads 12 -p media=dram 'pmemkv/*'
 package main
 
 import (
-	"flag"
-	"fmt"
-	"log"
+	"os"
 
-	"optanestudy/internal/platform"
-	"optanestudy/internal/pmemkv"
-	"optanestudy/internal/sim"
+	"optanestudy/internal/harness"
+	_ "optanestudy/internal/scenarios"
 )
 
 func main() {
-	keys := flag.Int("keys", 400, "resident keys")
-	durUS := flag.Int("duration", 300, "measured window (simulated microseconds)")
-	flag.Parse()
-
-	fmt.Printf("%-14s", "threads")
-	threadCounts := []int{1, 2, 4, 8, 12}
-	for _, th := range threadCounts {
-		fmt.Printf("%10d", th)
-	}
-	fmt.Println()
-	for _, conf := range []struct {
-		name   string
-		dram   bool
-		socket int
-	}{
-		{"DRAM", true, 0},
-		{"DRAM-Remote", true, 1},
-		{"Optane", false, 0},
-		{"Optane-Remote", false, 1},
-	} {
-		fmt.Printf("%-14s", conf.name)
-		for _, th := range threadCounts {
-			cfg := platform.DefaultConfig()
-			cfg.TrackData = true
-			cfg.XP.Wear.Enabled = false
-			p := platform.MustNew(cfg)
-			var ns *platform.Namespace
-			var err error
-			if conf.dram {
-				ns, err = p.DRAM("kv", 0, 128<<20)
-			} else {
-				ns, err = p.Optane("kv", 0, 128<<20)
-			}
-			if err != nil {
-				log.Fatal(err)
-			}
-			res, err := pmemkv.RunOverwrite(pmemkv.OverwriteSpec{
-				Platform: p, NS: ns, Socket: conf.socket, Threads: th,
-				Keys: *keys, KeySize: 16, ValSize: 128,
-				Duration: sim.Time(*durUS) * sim.Microsecond, Seed: 19,
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("%10.3f", res.GBs)
-		}
-		fmt.Println(" GB/s")
-	}
+	os.Exit(harness.CLIMain(os.Args[1:], harness.CLIOptions{
+		Command:      "pmemkvbench",
+		Doc:          "PMemKV cmap overwrite benchmark across NUMA placements",
+		DefaultGlobs: []string{"pmemkv/*"},
+	}))
 }

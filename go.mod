@@ -1,0 +1,3 @@
+module optanestudy
+
+go 1.24

@@ -1,14 +1,12 @@
 package figures
 
 import (
-	"fmt"
+	"strconv"
 
 	"optanestudy/internal/daxfs"
-	"optanestudy/internal/fio"
-	"optanestudy/internal/lsmkv"
+	"optanestudy/internal/harness"
 	"optanestudy/internal/novafs"
 	"optanestudy/internal/platform"
-	"optanestudy/internal/pmemkv"
 	"optanestudy/internal/pmemobj"
 	"optanestudy/internal/sim"
 	"optanestudy/internal/stats"
@@ -32,18 +30,18 @@ func appPlatform(llcLines int) *platform.Platform {
 func Fig8(q Quality) []stats.Figure {
 	ops := q.ops(4000)
 	prepop := q.ops(20000)
-	run := func(onDRAM bool, mode lsmkv.Mode) float64 {
-		p := appPlatform((512 << 10) / 64) // scaled-down LLC:memtable ratio
-		res, err := lsmkv.RunSetBench(lsmkv.BenchSpec{
-			Platform: p, PMOnDRAM: onDRAM, Mode: mode,
-			Ops: ops, Prepopulate: prepop, Seed: 8,
+	run := func(onDRAM bool, scenario string) float64 {
+		tr := trial(harness.Spec{
+			Scenario: scenario,
+			Params: map[string]string{
+				"dram":        strconv.FormatBool(onDRAM),
+				"prepopulate": strconv.Itoa(prepop),
+			},
+			Ops: ops,
 		})
-		if err != nil {
-			panic(err)
-		}
-		return res.KOpsSec
+		return tr.Metrics["kops_per_sec"]
 	}
-	modes := []lsmkv.Mode{lsmkv.ModeWALPOSIX, lsmkv.ModeWALFLEX, lsmkv.ModePersistentMemtable}
+	modes := []string{"lsmkv/set-walposix", "lsmkv/set-walflex", "lsmkv/set-pmem-memtable"}
 	dram := stats.Figure{
 		ID: "fig8-dram", Title: "RocksDB SET on DRAM-emulated PM",
 		XLabel: "mode (0=WAL-POSIX 1=WAL-FLEX 2=persistent-skiplist)",
@@ -227,26 +225,21 @@ func Fig17(q Quality) []stats.Figure {
 	} {
 		rs := stats.Series{Name: conf.name}
 		ws := stats.Series{Name: conf.name}
-		for patIdx, pat := range []fio.Pattern{fio.Seq, fio.Rand} {
-			for _, rw := range []fio.RW{fio.Read, fio.Write} {
-				p := appPlatform(0)
-				fsys, create, err := novaMount(p, conf.pinned)
-				if err != nil {
-					panic(err)
-				}
-				res, err := fio.Run(fio.Spec{
-					Platform: p, FS: fsys, CreateFile: create,
-					Threads: threads, FileSize: 1 << 20, BS: 4096,
-					RW: rw, Pattern: pat, Sync: conf.sync,
-					OpsPerThrd: ops, Seed: 17,
+		for patIdx, pat := range []string{"seq", "rand"} {
+			for _, rw := range []string{"read", "write"} {
+				tr := trial(harness.Spec{
+					Scenario: "fio/" + pat + "-" + rw,
+					Params: map[string]string{
+						"pinned": strconv.FormatBool(conf.pinned),
+						"sync":   strconv.FormatBool(conf.sync),
+					},
+					Threads: threads,
+					Ops:     ops,
 				})
-				if err != nil {
-					panic(err)
-				}
-				if rw == fio.Read {
-					rs.Add(float64(patIdx), res.GBs)
+				if rw == "read" {
+					rs.Add(float64(patIdx), tr.GBs)
 				} else {
-					ws.Add(float64(patIdx), res.GBs)
+					ws.Add(float64(patIdx), tr.GBs)
 				}
 			}
 		}
@@ -254,33 +247,6 @@ func Fig17(q Quality) []stats.Figure {
 		write.Series = append(write.Series, ws)
 	}
 	return []stats.Figure{read, write}
-}
-
-func novaMount(p *platform.Platform, pinned bool) (vfs.FS, func(ctx *platform.MemCtx, name string, thread int) (vfs.File, error), error) {
-	if !pinned {
-		ns, err := p.Optane("nova", 0, 1<<30)
-		if err != nil {
-			return nil, nil, err
-		}
-		fsys, err := novafs.Mount([]*platform.Namespace{ns}, novafs.DefaultOptions(novafs.COW))
-		return fsys, nil, err
-	}
-	var nss []*platform.Namespace
-	for i := 0; i < 6; i++ {
-		ns, err := p.OptaneNI(fmt.Sprintf("nova%d", i), 0, i, 192<<20)
-		if err != nil {
-			return nil, nil, err
-		}
-		nss = append(nss, ns)
-	}
-	fsys, err := novafs.Mount(nss, novafs.DefaultOptions(novafs.COW))
-	if err != nil {
-		return nil, nil, err
-	}
-	create := func(ctx *platform.MemCtx, name string, thread int) (vfs.File, error) {
-		return fsys.CreateZone(ctx, name, thread%6)
-	}
-	return fsys, create, nil
 }
 
 // Fig19 reproduces "NUMA degradation for PMemKV": cmap overwrite bandwidth
@@ -307,27 +273,19 @@ func Fig19(q Quality) []stats.Figure {
 		{"Optane-Remote", false, 1},
 	} {
 		s := stats.Series{Name: conf.name}
+		media := "optane"
+		if conf.dram {
+			media = "dram"
+		}
 		for _, th := range threadCounts {
-			p := appPlatform(0)
-			var ns *platform.Namespace
-			var err error
-			if conf.dram {
-				ns, err = p.DRAM("kv", 0, 128<<20)
-			} else {
-				ns, err = p.Optane("kv", 0, 128<<20)
-			}
-			if err != nil {
-				panic(err)
-			}
-			res, err := pmemkv.RunOverwrite(pmemkv.OverwriteSpec{
-				Platform: p, NS: ns, Socket: conf.socket, Threads: th,
-				Keys: 400, KeySize: 16, ValSize: 128,
-				Duration: q.dur(300 * sim.Microsecond), Seed: 19,
+			tr := trial(harness.Spec{
+				Scenario: "pmemkv/overwrite",
+				Params:   map[string]string{"media": media},
+				Socket:   conf.socket,
+				Threads:  th,
+				Duration: q.dur(300 * sim.Microsecond),
 			})
-			if err != nil {
-				panic(err)
-			}
-			s.Add(float64(th), res.GBs)
+			s.Add(float64(th), tr.GBs)
 		}
 		fig.Series = append(fig.Series, s)
 	}

@@ -2,11 +2,12 @@ package figures
 
 import (
 	"fmt"
+	"strconv"
 
+	"optanestudy/internal/harness"
 	"optanestudy/internal/lattester"
 	"optanestudy/internal/sim"
 	"optanestudy/internal/stats"
-	"optanestudy/internal/workload"
 )
 
 var threeOps = []lattester.Op{lattester.OpRead, lattester.OpNTStore, lattester.OpStoreCLWB}
@@ -42,12 +43,10 @@ func Fig4(q Quality) []stats.Figure {
 		for _, op := range threeOps {
 			s := stats.Series{Name: opLabel(op)}
 			for _, th := range threads {
-				ns := nsFor(testbed(false), system)
-				res := lattester.Run(lattester.Spec{
-					NS: ns, Op: op, Pattern: patSeq, AccessSize: 256,
-					Threads: th, Duration: q.dur(200 * sim.Microsecond),
-				})
-				s.Add(float64(th), res.GBs)
+				spec := kernel(system, op, patSeq, 256)
+				spec.Threads = th
+				spec.Duration = q.dur(200 * sim.Microsecond)
+				s.Add(float64(th), trial(spec).GBs)
 			}
 			fig.Series = append(fig.Series, s)
 		}
@@ -81,12 +80,10 @@ func Fig5(q Quality) []stats.Figure {
 		for i, op := range threeOps {
 			s := stats.Series{Name: opLabel(op)}
 			for _, size := range sizes {
-				ns := nsFor(testbed(false), system)
-				res := lattester.Run(lattester.Spec{
-					NS: ns, Op: op, Pattern: patRand, AccessSize: size,
-					Threads: tc[i], Duration: q.dur(200 * sim.Microsecond),
-				})
-				s.Add(float64(size), res.GBs)
+				spec := kernel(system, op, patRand, size)
+				spec.Threads = tc[i]
+				spec.Duration = q.dur(200 * sim.Microsecond)
+				s.Add(float64(size), trial(spec).GBs)
 			}
 			fig.Series = append(fig.Series, s)
 		}
@@ -97,7 +94,7 @@ func Fig5(q Quality) []stats.Figure {
 
 // Fig9 reproduces "Relationship between EWR and throughput on a single
 // DIMM": the systematic sweep's scatter with per-instruction least-squares
-// fits.
+// fits. Every sweep point is itself a harness trial of lattester/kernel.
 func Fig9(q Quality) []stats.Figure {
 	sc := lattester.DefaultSweepConfig()
 	if q == Quick {
@@ -147,9 +144,14 @@ func Fig10(q Quality) []stats.Figure {
 		if lines < 1 {
 			lines = 1
 		}
-		_, ns := lattester.NewNIPlatform(false)
-		wa := lattester.RegionProbe(ns, lines, 3)
-		fig.Series[0].Add(float64(region), wa)
+		tr := trial(harness.Spec{
+			Scenario: "lattester/xpbuffer-probe",
+			Params: map[string]string{
+				"lines":  strconv.FormatInt(lines, 10),
+				"rounds": "3",
+			},
+		})
+		fig.Series[0].Add(float64(region), tr.Metrics["wa"])
 	}
 	return []stats.Figure{fig}
 }
@@ -169,13 +171,13 @@ func Fig13(q Quality) []stats.Figure {
 	for _, op := range []lattester.Op{lattester.OpNTStore, lattester.OpStoreCLWB, lattester.OpStore} {
 		s := stats.Series{Name: op.String()}
 		for _, size := range sizes {
-			ns := nsFor(testbed(false), "Optane")
-			res := lattester.Run(lattester.Spec{
-				NS: ns, Op: op, Pattern: patSeq, AccessSize: size, Threads: 6,
-				FencePerLine: op == lattester.OpStoreCLWB,
-				Duration:     q.dur(200 * sim.Microsecond),
-			})
-			s.Add(float64(size), res.GBs)
+			spec := kernel("Optane", op, patSeq, size)
+			spec.Threads = 6
+			spec.Duration = q.dur(200 * sim.Microsecond)
+			if op == lattester.OpStoreCLWB {
+				spec.Params["fence64"] = "true"
+			}
+			s.Add(float64(size), trial(spec).GBs)
 		}
 		bw.Series = append(bw.Series, s)
 	}
@@ -187,12 +189,11 @@ func Fig13(q Quality) []stats.Figure {
 	for _, op := range []lattester.Op{lattester.OpNTStore, lattester.OpStoreCLWB} {
 		s := stats.Series{Name: op.String()}
 		for _, size := range sizes {
-			ns := nsFor(testbed(false), "Optane")
-			res := lattester.Run(lattester.Spec{
-				NS: ns, Op: op, Pattern: patSeq, AccessSize: size, Threads: 1,
-				RecordLatency: true, Duration: q.dur(100 * sim.Microsecond),
-			})
-			s.Add(float64(size), res.Latency.Mean())
+			spec := kernel("Optane", op, patSeq, size)
+			spec.Threads = 1
+			spec.Duration = q.dur(100 * sim.Microsecond)
+			spec.Params["latency"] = "true"
+			s.Add(float64(size), trial(spec).Latency.Mean())
 		}
 		lat.Series = append(lat.Series, s)
 	}
@@ -211,10 +212,14 @@ func Fig14(q Quality) []stats.Figure {
 		XLabel: "sfence interval / write size (bytes)",
 		YLabel: "bandwidth (GB/s)",
 	}
-	for _, mode := range []lattester.SfenceMode{lattester.CLWBEveryLine, lattester.CLWBAfterWrite, lattester.NTStoreMode} {
-		s := stats.Series{Name: mode.String()}
+	modes := []struct{ label, param string }{
+		{lattester.CLWBEveryLine.String(), "clwb64"},
+		{lattester.CLWBAfterWrite.String(), "clwb"},
+		{lattester.NTStoreMode.String(), "ntstore"},
+	}
+	for _, mode := range modes {
+		s := stats.Series{Name: mode.label}
 		for _, size := range sizes {
-			_, ns := lattester.NewNIPlatform(false)
 			total := int64(12 << 20)
 			if q == Quick {
 				total = 4 << 20
@@ -222,10 +227,15 @@ func Fig14(q Quality) []stats.Figure {
 			if total < int64(size)*2 {
 				total = int64(size) * 2
 			}
-			gbs := lattester.SfenceInterval(lattester.SfenceIntervalSpec{
-				NS: ns, WriteSize: size, Mode: mode, Total: total,
+			tr := trial(harness.Spec{
+				Scenario: "lattester/sfence-interval",
+				Params: map[string]string{
+					"size":  strconv.Itoa(size),
+					"mode":  mode.param,
+					"total": strconv.FormatInt(total, 10),
+				},
 			})
-			s.Add(float64(size), gbs)
+			s.Add(float64(size), tr.GBs)
 		}
 		fig.Series = append(fig.Series, s)
 	}
@@ -245,26 +255,25 @@ func Fig16(q Quality) []stats.Figure {
 		ID: "fig16-write", Title: "iMC contention: ntstore (6 threads)",
 		XLabel: "access size (bytes)", YLabel: "bandwidth (GB/s)",
 	}
+	spreadTrial := func(threads, n, size int, isWrite bool, seed uint64) harness.Trial {
+		return trial(harness.Spec{
+			Scenario: "lattester/spread",
+			Params: map[string]string{
+				"dimms_each": strconv.Itoa(n),
+				"size":       strconv.Itoa(size),
+				"write":      strconv.FormatBool(isWrite),
+			},
+			Threads:  threads,
+			Duration: q.dur(200 * sim.Microsecond),
+			Seed:     seed,
+		})
+	}
 	for _, n := range spreads {
 		rs := stats.Series{Name: fmt.Sprintf("%d Threads", n)}
 		ws := stats.Series{Name: fmt.Sprintf("%d Threads", n)}
 		for _, size := range sizes {
-			{
-				ns := nsFor(testbed(false), "Optane")
-				gbs := lattester.Spread(lattester.SpreadSpec{
-					NS: ns, Threads: 24, DIMMsEach: n, AccessSize: size,
-					Write: false, Duration: q.dur(200 * sim.Microsecond), Seed: 11,
-				})
-				rs.Add(float64(size), gbs)
-			}
-			{
-				ns := nsFor(testbed(false), "Optane")
-				gbs := lattester.Spread(lattester.SpreadSpec{
-					NS: ns, Threads: 6, DIMMsEach: n, AccessSize: size,
-					Write: true, Duration: q.dur(200 * sim.Microsecond), Seed: 13,
-				})
-				ws.Add(float64(size), gbs)
-			}
+			rs.Add(float64(size), spreadTrial(24, n, size, false, 11).GBs)
+			ws.Add(float64(size), spreadTrial(6, n, size, true, 13).GBs)
 		}
 		read.Series = append(read.Series, rs)
 		write.Series = append(write.Series, ws)
@@ -275,10 +284,7 @@ func Fig16(q Quality) []stats.Figure {
 // Fig18 reproduces "Memory bandwidth on Optane and Optane-Remote" across
 // read/write mixes for one and four threads.
 func Fig18(q Quality) []stats.Figure {
-	mixes := []*workload.Mix{
-		workload.NewMix(1, 0), workload.NewMix(4, 1), workload.NewMix(3, 1),
-		workload.NewMix(2, 1), workload.NewMix(1, 1), workload.NewMix(0, 1),
-	}
+	mixes := []string{"1:0", "4:1", "3:1", "2:1", "1:1", "0:1"}
 	fig := stats.Figure{
 		ID:     "fig18",
 		Title:  "Bandwidth by R/W mix, local vs remote Optane",
@@ -297,13 +303,12 @@ func Fig18(q Quality) []stats.Figure {
 	} {
 		s := stats.Series{Name: conf.name}
 		for i, m := range mixes {
-			ns := nsFor(testbed(false), "Optane")
-			res := lattester.Run(lattester.Spec{
-				NS: ns, Socket: conf.socket, Pattern: patSeq, AccessSize: 256,
-				Threads: conf.threads, Mix: m,
-				Duration: q.dur(150 * sim.Microsecond),
-			})
-			s.Add(float64(i), res.GBs)
+			spec := kernel("Optane", lattester.OpRead, patSeq, 256)
+			spec.Params["mix"] = m
+			spec.Socket = conf.socket
+			spec.Threads = conf.threads
+			spec.Duration = q.dur(150 * sim.Microsecond)
+			s.Add(float64(i), trial(spec).GBs)
 		}
 		fig.Series = append(fig.Series, s)
 	}

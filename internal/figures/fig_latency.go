@@ -2,11 +2,12 @@ package figures
 
 import (
 	"fmt"
+	"strconv"
 
+	"optanestudy/internal/harness"
 	"optanestudy/internal/lattester"
 	"optanestudy/internal/sim"
 	"optanestudy/internal/stats"
-	"optanestudy/internal/workload"
 )
 
 // Fig2 reproduces "Best-case latency": random and sequential 8 B read
@@ -33,19 +34,21 @@ func Fig2(q Quality) []stats.Figure {
 		YLabel: "idle latency (ns)",
 	}
 	notes := ""
-	for _, system := range []string{"DRAM", "Optane"} {
-		s := stats.Series{Name: system}
+	for _, system := range []string{"dram", "optane"} {
+		name := map[string]string{"dram": "DRAM", "optane": "Optane"}[system]
+		s := stats.Series{Name: name}
 		for i, c := range cases {
-			p := testbed(false)
-			var nsp = mustNS(p.Optane("pm", 0, 1<<30))
-			if system == "DRAM" {
-				nsp = mustNS(p.DRAM("dram", 0, 1<<30))
-			}
-			sum := lattester.IdleLatency(lattester.IdleLatencySpec{
-				NS: nsp, Op: c.op, Pattern: c.pat, Ops: ops,
+			tr := trial(harness.Spec{
+				Scenario: "lattester/idle-latency",
+				Params: map[string]string{
+					"system":  system,
+					"op":      c.op.String(),
+					"pattern": c.pat.String(),
+				},
+				Ops: ops,
 			})
-			s.Add(float64(i), sum.Mean())
-			notes += fmt.Sprintf("%s[%d] std=%.1f ", system, i, sum.Std())
+			s.Add(float64(i), tr.Metrics["mean_ns"])
+			notes += fmt.Sprintf("%s[%d] std=%.1f ", name, i, tr.Metrics["std_ns"])
 		}
 		fig.Series = append(fig.Series, s)
 	}
@@ -66,9 +69,12 @@ func Fig3(q Quality) []stats.Figure {
 		Series: []stats.Series{{Name: "99.99%"}, {Name: "99.999%"}, {Name: "Max"}},
 	}
 	for _, h := range hotspots {
-		p := testbed(true) // wear-leveling outliers ON
-		ns := mustNS(p.Optane("pm", 0, 1<<30))
-		hist := lattester.TailLatency(lattester.TailSpec{NS: ns, Hotspot: h, Ops: ops})
+		tr := trial(harness.Spec{
+			Scenario: "lattester/tail-latency",
+			Params:   map[string]string{"hotspot": strconv.FormatInt(h, 10)},
+			Ops:      ops,
+		})
+		hist := tr.Latency
 		fig.Series[0].Add(float64(h), hist.Percentile(0.9999)/1000)
 		fig.Series[1].Add(float64(h), hist.Percentile(0.99999)/1000)
 		fig.Series[2].Add(float64(h), hist.Max()/1000)
@@ -93,31 +99,23 @@ func Fig6(q Quality) []stats.Figure {
 		ID: "fig6-write", Title: "Latency under load: write (ntstore)",
 		XLabel: "bandwidth (GB/s)", YLabel: "latency (ns)",
 	}
+	loaded := func(system string, op lattester.Op, pat lattester.PatternKind, threads int, d sim.Time) harness.Trial {
+		spec := kernel(system, op, pat, 64)
+		spec.Threads = threads
+		spec.Duration = q.dur(200 * sim.Microsecond)
+		spec.Params["delay_ns"] = strconv.FormatInt(int64(d/sim.Nanosecond), 10)
+		spec.Params["latency"] = "true"
+		return trial(spec)
+	}
 	for _, mediaName := range []string{"DRAM", "Optane"} {
 		for _, pat := range []lattester.PatternKind{patRand, patSeq} {
 			rs := stats.Series{Name: fmt.Sprintf("%s-%s", mediaName, patLabel(pat))}
 			ws := stats.Series{Name: fmt.Sprintf("%s-%s", mediaName, patLabel(pat))}
 			for _, d := range delays {
-				{
-					p := testbed(false)
-					ns := nsFor(p, mediaName)
-					res := lattester.Run(lattester.Spec{
-						NS: ns, Op: lattester.OpRead, Pattern: pat, AccessSize: 64,
-						Threads: 16, Delay: d, RecordLatency: true,
-						Duration: q.dur(200 * sim.Microsecond),
-					})
-					rs.Add(res.GBs, res.Latency.Mean())
-				}
-				{
-					p := testbed(false)
-					ns := nsFor(p, mediaName)
-					res := lattester.Run(lattester.Spec{
-						NS: ns, Op: lattester.OpNTStore, Pattern: pat, AccessSize: 64,
-						Threads: 4, Delay: d, RecordLatency: true,
-						Duration: q.dur(200 * sim.Microsecond),
-					})
-					ws.Add(res.GBs, res.Latency.Mean())
-				}
+				r := loaded(mediaName, lattester.OpRead, pat, 16, d)
+				rs.Add(r.GBs, r.Latency.Mean())
+				w := loaded(mediaName, lattester.OpNTStore, pat, 4, d)
+				ws.Add(w.GBs, w.Latency.Mean())
 			}
 			read.Series = append(read.Series, rs)
 			write.Series = append(write.Series, ws)
@@ -142,18 +140,18 @@ func Fig7(q Quality) []stats.Figure {
 	for _, sys := range systems {
 		s := stats.Series{Name: sys}
 		for _, d := range delays {
-			ns, socket := emulated(sys)
-			res := lattester.Run(lattester.Spec{
-				NS: ns, Socket: socket, Op: lattester.OpNTStore,
-				Pattern: patSeq, AccessSize: 64, Threads: 4, Delay: d,
-				RecordLatency: true, Duration: q.dur(150 * sim.Microsecond),
-			})
-			s.Add(res.GBs, res.Latency.Mean())
+			spec := emulatedSpec(sys, lattester.OpNTStore, patSeq, 64)
+			spec.Threads = 4
+			spec.Duration = q.dur(150 * sim.Microsecond)
+			spec.Params["delay_ns"] = strconv.FormatInt(int64(d/sim.Nanosecond), 10)
+			spec.Params["latency"] = "true"
+			tr := trial(spec)
+			s.Add(tr.GBs, tr.Latency.Mean())
 		}
 		curve.Series = append(curve.Series, s)
 	}
 
-	mixes := []*workload.Mix{workload.NewMix(0, 1), workload.NewMix(1, 1), workload.NewMix(1, 0)}
+	mixes := []string{"0:1", "1:1", "1:0"}
 	mixLabels := []string{"All Wr.", "1:1 Wr.:Rd.", "All Rd."}
 	mixFig := stats.Figure{
 		ID: "fig7-mix", Title: "Bandwidth by thread mix under emulation",
@@ -163,31 +161,37 @@ func Fig7(q Quality) []stats.Figure {
 	for _, sys := range systems {
 		s := stats.Series{Name: sys}
 		for i, m := range mixes {
-			ns, socket := emulated(sys)
-			res := lattester.Run(lattester.Spec{
-				NS: ns, Socket: socket, Pattern: patSeq, AccessSize: 256,
-				Threads: 8, Mix: m, Duration: q.dur(150 * sim.Microsecond),
-			})
-			s.Add(float64(i), res.GBs)
+			spec := emulatedSpec(sys, lattester.OpRead, patSeq, 256)
+			spec.Threads = 8
+			spec.Duration = q.dur(150 * sim.Microsecond)
+			spec.Params["mix"] = m
+			s.Add(float64(i), trial(spec).GBs)
 		}
 		mixFig.Series = append(mixFig.Series, s)
 	}
 	return []stats.Figure{curve, mixFig}
 }
 
-// emulated builds the namespace (on a fresh platform) for one emulation
-// methodology, plus the socket its threads run on.
-func emulated(sys string) (*nsT, int) {
+// emulatedSpec builds the kernel spec for one emulation methodology: DRAM
+// and DRAM-Remote emulate persistent memory on a 1 GB DRAM pool (local or
+// one UPI hop away), Optane is the 1 GB real-media baseline, and PMEP is
+// the Persistent Memory Emulator Platform's slowed DRAM timings.
+func emulatedSpec(sys string, op lattester.Op, pat lattester.PatternKind, size int) harness.Spec {
+	var spec harness.Spec
 	switch sys {
 	case "DRAM":
-		return mustNS(testbed(false).DRAM("pmem", 0, 1<<30)), 0
+		spec = kernel("dram", op, pat, size)
 	case "DRAM-Remote":
-		return mustNS(testbed(false).DRAM("pmem", 0, 1<<30)), 1
+		spec = kernel("dram", op, pat, size)
+		spec.Socket = 1
 	case "Optane":
-		return mustNS(testbed(false).Optane("pmem", 0, 1<<30)), 0
+		spec = kernel("optane", op, pat, size)
+		spec.Params["nssize"] = strconv.FormatInt(1<<30, 10)
 	case "PMEP":
-		return mustNS(pmepPlatform().DRAM("pmem", 0, 1<<30)), 0
+		spec = kernel("dram", op, pat, size)
+		spec.Params["platform"] = "pmep"
 	default:
 		panic("figures: unknown emulation " + sys)
 	}
+	return spec
 }

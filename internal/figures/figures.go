@@ -6,6 +6,10 @@
 package figures
 
 import (
+	"strconv"
+	"strings"
+
+	"optanestudy/internal/harness"
 	"optanestudy/internal/lattester"
 	"optanestudy/internal/platform"
 	"optanestudy/internal/sim"
@@ -76,26 +80,6 @@ func Lookup(id string) *Runner {
 	return nil
 }
 
-// testbed builds a fresh calibrated platform. Wear-leveling outliers are
-// disabled except where a figure needs them (Figure 3), since rare 50 µs
-// stalls add noise to mean-bandwidth figures.
-func testbed(wear bool) *platform.Platform {
-	cfg := platform.DefaultConfig()
-	cfg.XP.Wear.Enabled = wear
-	return platform.MustNew(cfg)
-}
-
-// mustNS panics on namespace-creation failure (static specs in runners).
-func mustNS(ns *platform.Namespace, err error) *platform.Namespace {
-	if err != nil {
-		panic(err)
-	}
-	return ns
-}
-
-// nsT aliases the namespace type for brevity in runner signatures.
-type nsT = platform.Namespace
-
 // Pattern shorthands.
 const (
 	patSeq  = lattester.Sequential
@@ -109,21 +93,35 @@ func patLabel(p lattester.PatternKind) string {
 	return "Rand"
 }
 
-// nsFor creates the standard namespace for a system label on a fresh
-// platform: "DRAM" or "Optane" (interleaved), or "Optane-NI".
-func nsFor(p *platform.Platform, system string) *platform.Namespace {
-	switch system {
-	case "DRAM":
-		return mustNS(p.DRAM("dram", 0, 1<<30))
-	case "Optane":
-		return mustNS(p.Optane("optane", 0, 2<<30))
-	case "Optane-NI":
-		return mustNS(p.OptaneNI("optane-ni", 0, 0, 1<<30))
-	default:
-		panic("figures: unknown system " + system)
+// trial runs one datapoint through the harness driver, panicking on error:
+// figure specs are static, so a failure is a programming mistake, exactly
+// like the namespace-creation panics the runners used before.
+func trial(spec harness.Spec) harness.Trial {
+	res, err := harness.Run(spec)
+	if err != nil {
+		panic("figures: " + err.Error())
+	}
+	return res.Trials[0]
+}
+
+// kernel builds the harness spec for one lattester/kernel datapoint against
+// a system label ("DRAM", "Optane", "Optane-NI" — nsFor's vocabulary).
+func kernel(system string, op lattester.Op, pat lattester.PatternKind, size int) harness.Spec {
+	return harness.Spec{
+		Scenario: "lattester/kernel",
+		Params: map[string]string{
+			"system":  strings.ToLower(system),
+			"op":      op.String(),
+			"pattern": pat.String(),
+			"size":    strconv.Itoa(size),
+		},
 	}
 }
 
-func pmepPlatform() *platform.Platform {
-	return platform.MustNew(platform.PMEPConfig())
+// mustNS panics on namespace-creation failure (static specs in runners).
+func mustNS(ns *platform.Namespace, err error) *platform.Namespace {
+	if err != nil {
+		panic(err)
+	}
+	return ns
 }

@@ -1,0 +1,60 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"optanestudy/internal/harness"
+
+	// The figure runners drive their app-level datapoints through these
+	// packages' registered scenarios.
+	_ "optanestudy/internal/fio"
+	_ "optanestudy/internal/lsmkv"
+	_ "optanestudy/internal/pmemkv"
+)
+
+// Harness scenarios: every figure registers as "figures/figN". A trial
+// regenerates the figure and flattens its datapoints into metrics —
+// "<figID>/<series>@<x>" for each point plus "<figID>/<series>/max" per
+// series — so figure data flows through the same machine-readable schema
+// as every other benchmark. The TSV rendering rides along as the trial's
+// text artifact for the table reporter.
+func init() {
+	for _, r := range All() {
+		r := r
+		harness.Register(harness.Scenario{
+			Name: "figures/" + r.ID,
+			Doc:  r.Title,
+			Run: func(spec harness.Spec) (harness.Trial, error) {
+				pr := harness.NewParamReader(spec.Params)
+				q := Quick
+				switch v := pr.Str("quality", "quick"); v {
+				case "quick":
+				case "full":
+					q = Full
+				default:
+					return harness.Trial{}, fmt.Errorf("unknown quality %q", v)
+				}
+				if err := pr.Err(); err != nil {
+					return harness.Trial{}, err
+				}
+				tr := harness.Trial{Metrics: make(map[string]float64)}
+				var text strings.Builder
+				for _, fig := range r.Run(q) {
+					for _, s := range fig.Series {
+						_, maxY := s.MaxY()
+						tr.Metrics[fig.ID+"/"+s.Name+"/max"] = maxY
+						for i := range s.X {
+							tr.Metrics[fmt.Sprintf("%s/%s@%g", fig.ID, s.Name, s.X[i])] = s.Y[i]
+							tr.Ops++
+						}
+					}
+					text.WriteString(fig.TSV())
+					text.WriteByte('\n')
+				}
+				tr.Text = strings.TrimRight(text.String(), "\n")
+				return tr, nil
+			},
+		})
+	}
+}

@@ -1,0 +1,118 @@
+package fio
+
+import (
+	"fmt"
+
+	"optanestudy/internal/harness"
+	"optanestudy/internal/novafs"
+	"optanestudy/internal/platform"
+	"optanestudy/internal/vfs"
+)
+
+// Harness scenarios: the Figure 12/17 FIO jobs against NOVA, on either an
+// interleaved mount or six per-DIMM zones with per-thread pinning.
+func init() {
+	presets := []struct {
+		name, doc string
+		params    map[string]string
+	}{
+		{"fio/seq-read", "sequential 4 KB reads over NOVA",
+			map[string]string{"rw": "read", "pattern": "seq"}},
+		{"fio/rand-read", "random 4 KB reads over NOVA",
+			map[string]string{"rw": "read", "pattern": "rand"}},
+		{"fio/seq-write", "sequential 4 KB synced writes over NOVA",
+			map[string]string{"rw": "write", "pattern": "seq"}},
+		{"fio/rand-write", "random 4 KB synced writes over NOVA",
+			map[string]string{"rw": "write", "pattern": "rand"}},
+	}
+	for _, p := range presets {
+		harness.Register(harness.Scenario{
+			Name: p.name,
+			Doc:  p.doc,
+			Defaults: harness.Defaults{
+				Threads: 24, Ops: 64, Seed: 17, Params: p.params,
+			},
+			Run: runFIO,
+		})
+	}
+}
+
+func runFIO(spec harness.Spec) (harness.Trial, error) {
+	r := harness.NewParamReader(spec.Params)
+	var rw RW
+	switch v := r.Str("rw", "read"); v {
+	case "read":
+		rw = Read
+	case "write":
+		rw = Write
+	default:
+		return harness.Trial{}, fmt.Errorf("unknown rw %q", v)
+	}
+	var pat Pattern
+	switch v := r.Str("pattern", "seq"); v {
+	case "seq":
+		pat = Seq
+	case "rand":
+		pat = Rand
+	default:
+		return harness.Trial{}, fmt.Errorf("unknown pattern %q", v)
+	}
+	pinned := r.Bool("pinned", false)
+	sync := r.Bool("sync", true)
+	bs := r.Int("bs", 4096)
+	fileSize := r.Int64("filesize", 1<<20)
+	if err := r.Err(); err != nil {
+		return harness.Trial{}, err
+	}
+
+	cfg := platform.DefaultConfig()
+	cfg.TrackData = true
+	cfg.XP.Wear.Enabled = false
+	p := platform.MustNew(cfg)
+	fs, create, err := mountNova(p, pinned)
+	if err != nil {
+		return harness.Trial{}, err
+	}
+	res, err := Run(Spec{
+		Platform: p, FS: fs, CreateFile: create, Threads: spec.Threads,
+		FileSize: fileSize, BS: bs, RW: rw, Pattern: pat, Sync: sync,
+		OpsPerThrd: spec.Ops, Seed: spec.Seed,
+	})
+	if err != nil {
+		return harness.Trial{}, err
+	}
+	return harness.Trial{
+		Bytes: res.Bytes,
+		Ops:   res.Bytes / int64(bs),
+		Sim:   res.Elapsed,
+	}, nil
+}
+
+// mountNova builds the Figure 17 mounts: one interleaved 1 GB namespace, or
+// six per-DIMM 192 MB zones with files pinned round-robin by thread.
+func mountNova(p *platform.Platform, pinned bool) (vfs.FS, func(ctx *platform.MemCtx, name string, thread int) (vfs.File, error), error) {
+	if !pinned {
+		ns, err := p.Optane("nova", 0, 1<<30)
+		if err != nil {
+			return nil, nil, err
+		}
+		fs, err := novafs.Mount([]*platform.Namespace{ns}, novafs.DefaultOptions(novafs.COW))
+		return fs, nil, err
+	}
+	var nss []*platform.Namespace
+	for i := 0; i < 6; i++ {
+		ns, err := p.OptaneNI(fmt.Sprintf("nova%d", i), 0, i, 192<<20)
+		if err != nil {
+			return nil, nil, err
+		}
+		nss = append(nss, ns)
+	}
+	fs, err := novafs.Mount(nss, novafs.DefaultOptions(novafs.COW))
+	if err != nil {
+		return nil, nil, err
+	}
+	create := func(ctx *platform.MemCtx, name string, thread int) (vfs.File, error) {
+		return fs.CreateZone(ctx, name, thread%6)
+	}
+	return fs, create, nil
+}

@@ -1,0 +1,153 @@
+package harness
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"optanestudy/internal/sim"
+)
+
+// CLIOptions configures the shared command-line front end the cmd/*
+// binaries are built from.
+type CLIOptions struct {
+	// Command is the binary name used in usage output.
+	Command string
+	// Doc is a one-line description printed at the top of usage.
+	Doc string
+	// DefaultGlobs selects the scenarios run when no positional arguments
+	// are given (e.g. ["lattester/*"]).
+	DefaultGlobs []string
+	// Stdout and Stderr default to os.Stdout / os.Stderr.
+	Stdout io.Writer
+	Stderr io.Writer
+}
+
+// paramFlag accumulates repeated -p key=value flags.
+type paramFlag map[string]string
+
+func (p paramFlag) String() string { return "" }
+
+func (p paramFlag) Set(v string) error {
+	key, val, ok := strings.Cut(v, "=")
+	if !ok || key == "" {
+		return fmt.Errorf("want key=value, got %q", v)
+	}
+	p[key] = val
+	return nil
+}
+
+// CLIMain runs the shared scenario CLI: list/filter scenarios by glob, run
+// them through the driver, and render the results in the chosen format. It
+// returns the process exit code.
+func CLIMain(argv []string, opts CLIOptions) int {
+	stdout, stderr := opts.Stdout, opts.Stderr
+	if stdout == nil {
+		stdout = os.Stdout
+	}
+	if stderr == nil {
+		stderr = os.Stderr
+	}
+
+	fs := flag.NewFlagSet(opts.Command, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "%s: %s\n\n", opts.Command, opts.Doc)
+		fmt.Fprintf(stderr, "usage: %s [flags] [scenario|glob ...]\n", opts.Command)
+		fmt.Fprintf(stderr, "default scenarios: %s\n\nflags:\n", strings.Join(opts.DefaultGlobs, " "))
+		fs.PrintDefaults()
+	}
+
+	list := fs.Bool("list", false, "list matching scenarios and exit")
+	format := fs.String("format", "table", "output format: table, csv or json")
+	trials := fs.Int("trials", 0, "measured trials per scenario (0 = scenario default)")
+	warmupRuns := fs.Int("warmup-runs", 0, "discarded whole runs before measuring")
+	threads := fs.Int("threads", 0, "worker threads (0 = scenario default)")
+	socket := fs.Int("socket", 0, "socket the workers run on (0 = scenario default)")
+	durationUS := fs.Int("duration", 0, "measured window in simulated microseconds (0 = default)")
+	warmupUS := fs.Int("warmup", 0, "per-trial warmup in simulated microseconds (0 = default)")
+	ops := fs.Int("ops", 0, "operation budget for count-style scenarios (0 = default)")
+	seed := fs.Uint64("seed", 0, "base RNG seed (0 = scenario default)")
+	det := fs.Bool("deterministic", false, "zero wall-clock fields in JSON output")
+	params := paramFlag{}
+	fs.Var(params, "p", "scenario param as key=value (repeatable)")
+
+	if err := fs.Parse(argv); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	globs := fs.Args()
+	if len(globs) == 0 {
+		globs = opts.DefaultGlobs
+	}
+	scs, err := Match(globs...)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", opts.Command, err)
+		return 2
+	}
+
+	if *list {
+		for _, sc := range scs {
+			fmt.Fprintf(stdout, "%-28s %s\n", sc.Name, sc.Doc)
+		}
+		return 0
+	}
+
+	rep, err := NewReporter(*format)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", opts.Command, err)
+		return 2
+	}
+	if jr, ok := rep.(JSONReporter); ok {
+		jr.Deterministic = *det
+		rep = jr
+	}
+
+	// Run every matched scenario; a failure in one (e.g. a -p param a
+	// sibling scenario does not understand) must not discard the results
+	// of the others.
+	var results []*Result
+	failed := 0
+	for _, sc := range scs {
+		spec := Spec{
+			Scenario:   sc.Name,
+			Threads:    *threads,
+			Socket:     *socket,
+			Duration:   sim.Time(*durationUS) * sim.Microsecond,
+			Warmup:     sim.Time(*warmupUS) * sim.Microsecond,
+			Ops:        *ops,
+			Trials:     *trials,
+			WarmupRuns: *warmupRuns,
+			Seed:       *seed,
+		}
+		if len(params) > 0 {
+			spec.Params = make(map[string]string, len(params))
+			for k, v := range params {
+				spec.Params[k] = v
+			}
+		}
+		res, err := Run(spec)
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", opts.Command, err)
+			failed++
+			continue
+		}
+		results = append(results, res)
+	}
+
+	if len(results) > 0 {
+		if err := rep.Report(stdout, results); err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", opts.Command, err)
+			return 1
+		}
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}

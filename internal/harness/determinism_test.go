@@ -1,0 +1,123 @@
+package harness_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"optanestudy/internal/harness"
+	_ "optanestudy/internal/lattester"
+	"optanestudy/internal/sim"
+)
+
+// TestDeterministicJSON asserts the contract BENCH_*.json tracking relies
+// on: two harness runs of the same Spec (same seed) against the simulated
+// platform produce byte-identical deterministic JSON.
+func TestDeterministicJSON(t *testing.T) {
+	render := func() []byte {
+		res, err := harness.Run(harness.Spec{
+			Scenario: "lattester/seq-ntstore",
+			Threads:  2,
+			Duration: 30 * sim.Microsecond,
+			Trials:   2,
+			Seed:     42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := (harness.JSONReporter{Deterministic: true}).Report(&buf, []*harness.Result{res}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same spec, different JSON:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+	if !json.Valid(a) {
+		t.Fatal("output is not valid JSON")
+	}
+}
+
+// TestCLIJSONRoundTrip drives the shared CLI end to end: run a scenario,
+// emit JSON, parse it back, and check the schema headline fields.
+func TestCLIJSONRoundTrip(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := harness.CLIMain(
+		[]string{"-format=json", "-duration=20", "-deterministic", "lattester/seq-ntstore"},
+		harness.CLIOptions{Command: "test", DefaultGlobs: []string{"lattester/*"}, Stdout: &out, Stderr: &errOut},
+	)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	var env struct {
+		Schema  string `json:"schema"`
+		Results []struct {
+			Name          string  `json:"name"`
+			ThroughputGBs float64 `json:"throughput_gbs"`
+			SimNS         int64   `json:"sim_ns"`
+			WallNS        int64   `json:"wall_ns"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
+		t.Fatalf("CLI JSON does not parse: %v\n%s", err, out.String())
+	}
+	if env.Schema != harness.SchemaVersion {
+		t.Errorf("schema = %q, want %q", env.Schema, harness.SchemaVersion)
+	}
+	if len(env.Results) != 1 || env.Results[0].Name != "lattester/seq-ntstore" {
+		t.Fatalf("results = %+v", env.Results)
+	}
+	if env.Results[0].ThroughputGBs <= 0 || env.Results[0].SimNS <= 0 {
+		t.Errorf("degenerate result: %+v", env.Results[0])
+	}
+	if env.Results[0].WallNS != 0 {
+		t.Error("-deterministic must zero wall_ns")
+	}
+}
+
+// TestCLIList checks -list output and glob filtering.
+func TestCLIList(t *testing.T) {
+	var out bytes.Buffer
+	code := harness.CLIMain(
+		[]string{"-list", "lattester/seq-*"},
+		harness.CLIOptions{Command: "test", Stdout: &out},
+	)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	listing := out.String()
+	if !strings.Contains(listing, "lattester/seq-read") || strings.Contains(listing, "lattester/rand-read") {
+		t.Errorf("glob filtering broken:\n%s", listing)
+	}
+}
+
+// TestCLIBadScenario checks the error path exit code.
+func TestCLIBadScenario(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := harness.CLIMain(
+		[]string{"no/such-scenario"},
+		harness.CLIOptions{Command: "test", Stdout: &out, Stderr: &errOut},
+	)
+	if code == 0 {
+		t.Fatal("unknown scenario must not exit 0")
+	}
+	if !strings.Contains(errOut.String(), "no/such-scenario") {
+		t.Errorf("stderr misses the offending name: %s", errOut.String())
+	}
+}
+
+// TestUnknownParamRejected checks that a typo'd -p key surfaces as an
+// error instead of being silently ignored.
+func TestUnknownParamRejected(t *testing.T) {
+	_, err := harness.Run(harness.Spec{
+		Scenario: "lattester/seq-read",
+		Duration: 10 * sim.Microsecond,
+		Params:   map[string]string{"patern": "rand"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "patern") {
+		t.Errorf("typo'd param not rejected: %v", err)
+	}
+}

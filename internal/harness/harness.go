@@ -1,0 +1,14 @@
+// Package harness is the unified benchmark runner behind every measurement
+// in the repository. Packages self-register runnable scenarios
+// (harness.Register), a driver executes warmup + N trials of a Spec against
+// a freshly constructed simulated platform per trial, and pluggable
+// reporters render the aggregated results as a human table, CSV, or a
+// stable JSON schema suitable for machine-readable perf tracking.
+//
+// The five cmd/* binaries are thin CLIs over the registry (CLIMain), the
+// figure runners in internal/figures and the LATTester sweep produce their
+// datapoints through harness trials, and bench_test.go drives the same
+// specs — one run/measure/report spine for the whole study, in the spirit
+// of the paper's LATTester toolkit. See DESIGN.md for the architecture and
+// the JSON result schema.
+package harness

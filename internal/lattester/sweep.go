@@ -1,6 +1,9 @@
 package lattester
 
 import (
+	"strconv"
+
+	"optanestudy/internal/harness"
 	"optanestudy/internal/platform"
 	"optanestudy/internal/sim"
 	"optanestudy/internal/stats"
@@ -21,61 +24,61 @@ type DataPoint struct {
 
 // SweepConfig bounds the systematic sweep.
 type SweepConfig struct {
-	// PlatformConfig builds a fresh platform per point (isolating
-	// counters and buffer state).
-	PlatformConfig platform.Config
-	Ops            []Op
-	Patterns       []PatternKind
-	AccessSizes    []int
-	Threads        []int
-	Duration       sim.Time
-	Channel        int // DIMM used for the single-DIMM namespaces
+	Ops         []Op
+	Patterns    []PatternKind
+	AccessSizes []int
+	Threads     []int
+	Duration    sim.Time
+	Channel     int // DIMM used for the single-DIMM namespaces
 }
 
 // DefaultSweepConfig mirrors the paper's sweep axes at a size that runs in
-// reasonable simulated time.
+// reasonable simulated time. (Wear-leveling outliers are off in the kernel
+// scenario by default: they would blur bandwidth means.)
 func DefaultSweepConfig() SweepConfig {
-	cfg := platform.DefaultConfig()
-	cfg.XP.Wear.Enabled = false // tail outliers would blur bandwidth means
 	return SweepConfig{
-		PlatformConfig: cfg,
-		Ops:            []Op{OpNTStore, OpStore, OpStoreCLWB},
-		Patterns:       []PatternKind{Sequential, Random},
-		AccessSizes:    []int{64, 128, 256, 512, 1024, 4096},
-		Threads:        []int{1, 2, 4, 8},
-		Duration:       120 * sim.Microsecond,
+		Ops:         []Op{OpNTStore, OpStore, OpStoreCLWB},
+		Patterns:    []PatternKind{Sequential, Random},
+		AccessSizes: []int{64, 128, 256, 512, 1024, 4096},
+		Threads:     []int{1, 2, 4, 8},
+		Duration:    120 * sim.Microsecond,
 	}
 }
 
 // Sweep runs every configuration against a single non-interleaved DIMM and
-// returns the data points (the Figure 9 scatter).
+// returns the data points (the Figure 9 scatter). Each point is one harness
+// trial of the "lattester/kernel" scenario, so the sweep and the CLIs can
+// never disagree on how a configuration is measured.
 func Sweep(sc SweepConfig) []DataPoint {
 	var points []DataPoint
 	for _, op := range sc.Ops {
 		for _, pat := range sc.Patterns {
 			for _, size := range sc.AccessSizes {
 				for _, threads := range sc.Threads {
-					p := platform.MustNew(sc.PlatformConfig)
-					ns, err := p.OptaneNI("sweep", 0, sc.Channel, 1<<30)
-					if err != nil {
-						panic(err)
-					}
-					res := Run(Spec{
-						NS:         ns,
-						Op:         op,
-						Pattern:    pat,
-						AccessSize: size,
-						Threads:    threads,
-						Duration:   sc.Duration,
-						Seed:       uint64(size*31+threads*7) + 1,
+					res, err := harness.Run(harness.Spec{
+						Scenario: "lattester/kernel",
+						Params: map[string]string{
+							"system":  "optane-ni",
+							"channel": strconv.Itoa(sc.Channel),
+							"op":      op.String(),
+							"pattern": pat.String(),
+							"size":    strconv.Itoa(size),
+						},
+						Threads:  threads,
+						Duration: sc.Duration,
+						Seed:     uint64(size*31+threads*7) + 1,
 					})
+					if err != nil {
+						panic("lattester: sweep: " + err.Error())
+					}
+					tr := res.Trials[0]
 					points = append(points, DataPoint{
 						Op:         op,
 						Pattern:    pat,
 						AccessSize: size,
 						Threads:    threads,
-						GBs:        res.GBs,
-						EWR:        res.EWR(),
+						GBs:        tr.GBs,
+						EWR:        tr.Metrics["ewr"],
 					})
 				}
 			}

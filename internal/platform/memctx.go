@@ -42,23 +42,70 @@ type MemCtx struct {
 }
 
 // drainRing caps the number of un-drained WPQ entries a thread may have on
-// one DIMM (the paper's 256 B per-thread WPQ window).
+// one DIMM (the paper's 256 B per-thread WPQ window). It is a fixed-size
+// circular buffer: the hot postLine path reuses the same backing array
+// instead of reslicing-and-appending a fresh slice per tracked write.
 type drainRing struct {
-	times []sim.Time
-	size  int
+	times []sim.Time // circular storage, sized to the window capacity
+	head  int        // index of the oldest live entry
+	n     int        // live entries
 }
 
+// push appends t. When the ring already holds capacity entries, the oldest
+// is evicted and returned (the drain the caller must wait for); otherwise
+// zero is returned.
 func (r *drainRing) push(t sim.Time, capacity int) sim.Time {
-	wait := sim.Time(0)
-	if len(r.times) >= capacity {
-		wait = r.times[0]
-		r.times = r.times[1:]
+	if len(r.times) != capacity {
+		r.resize(capacity)
 	}
-	r.times = append(r.times, t)
+	wait := sim.Time(0)
+	if r.n == capacity {
+		wait = r.times[r.head]
+		r.head++
+		if r.head == capacity {
+			r.head = 0
+		}
+		r.n--
+	}
+	i := r.head + r.n
+	if i >= capacity {
+		i -= capacity
+	}
+	r.times[i] = t
+	r.n++
 	return wait
 }
 
-func (r *drainRing) reset() { r.times = r.times[:0] }
+// setLast overwrites the most recently pushed entry.
+func (r *drainRing) setLast(t sim.Time) {
+	i := r.head + r.n - 1
+	if i >= len(r.times) {
+		i -= len(r.times)
+	}
+	r.times[i] = t
+}
+
+// resize re-sizes the storage (the window capacity is fixed per platform
+// config, so this runs once per ring in practice), preserving live entries
+// in order.
+func (r *drainRing) resize(capacity int) {
+	fresh := make([]sim.Time, capacity)
+	keep := r.n
+	if keep > capacity {
+		keep = capacity
+	}
+	for i := 0; i < keep; i++ {
+		// Drop the oldest entries first when shrinking.
+		j := r.head + r.n - keep + i
+		if len(r.times) > 0 {
+			j %= len(r.times)
+		}
+		fresh[i] = r.times[j]
+	}
+	r.times, r.head, r.n = fresh, 0, keep
+}
+
+func (r *drainRing) reset() { r.head, r.n = 0, 0 }
 
 // Proc returns the owning simulated thread.
 func (c *MemCtx) Proc() *sim.Proc { return c.proc }
@@ -84,10 +131,24 @@ func (c *MemCtx) ackTime(xp, remote bool) sim.Time {
 func (c *MemCtx) window(d dimm.DIMM) *drainRing {
 	w := c.windows[d]
 	if w == nil {
-		w = &drainRing{}
+		w = c.p.getRing()
+		if c.windows == nil {
+			c.windows = make(map[dimm.DIMM]*drainRing)
+		}
 		c.windows[d] = w
 	}
 	return w
+}
+
+// recycle returns the context's per-DIMM windows to the platform pool once
+// its thread has finished; later threads reuse the ring storage instead of
+// allocating fresh windows. Safe because procs run exclusively.
+func (c *MemCtx) recycle() {
+	for _, w := range c.windows {
+		w.reset()
+		c.p.ringPool = append(c.p.ringPool, w)
+	}
+	c.windows = nil
 }
 
 func (c *MemCtx) resetPending() {
@@ -329,7 +390,7 @@ func (c *MemCtx) postLine(ns *Namespace, lineOff int64, data []byte, t sim.Time,
 	acc, drain := ch.PostWrite(postT, d, local)
 	if tracked {
 		w := c.window(d)
-		w.times[len(w.times)-1] = drain
+		w.setLast(drain)
 		ack := acc + c.ackTime(xp, remote)
 		if ack > c.pendingAck {
 			c.pendingAck = ack

@@ -30,6 +30,17 @@ type Platform struct {
 	persist    mem.DataStore
 	namespaces []*Namespace // sorted by Base
 	ctxs       []*MemCtx
+	ringPool   []*drainRing // recycled per-DIMM WPQ windows
+}
+
+// getRing hands out a pooled drainRing, or a fresh one when none is free.
+func (p *Platform) getRing() *drainRing {
+	if n := len(p.ringPool); n > 0 {
+		r := p.ringPool[n-1]
+		p.ringPool = p.ringPool[:n-1]
+		return r
+	}
+	return &drainRing{}
 }
 
 // Namespace is a platform-attached pmem namespace.
@@ -90,7 +101,9 @@ func (p *Platform) Now() sim.Time { return p.eng.Now() }
 // engine's current time, and hands it a fresh memory context.
 func (p *Platform) Go(name string, socket int, fn func(ctx *MemCtx)) {
 	p.eng.Go(name, p.eng.Now(), func(proc *sim.Proc) {
-		fn(p.Context(proc, socket))
+		ctx := p.Context(proc, socket)
+		fn(ctx)
+		ctx.recycle()
 	})
 }
 
@@ -167,12 +180,11 @@ func (p *Platform) Context(proc *sim.Proc, socket int) *MemCtx {
 		panic(fmt.Sprintf("platform: socket %d out of range", socket))
 	}
 	ctx := &MemCtx{
-		p:       p,
-		proc:    proc,
-		socket:  socket,
-		wc:      cache.NewWCBuffer(),
-		windows: make(map[dimm.DIMM]*drainRing),
-		rng:     sim.NewRNG(p.cfg.Seed ^ uint64(proc.ID()*7919+13)),
+		p:      p,
+		proc:   proc,
+		socket: socket,
+		wc:     cache.NewWCBuffer(),
+		rng:    sim.NewRNG(p.cfg.Seed ^ uint64(proc.ID()*7919+13)),
 	}
 	p.ctxs = append(p.ctxs, ctx)
 	return ctx

@@ -1,0 +1,76 @@
+package pmemkv
+
+import (
+	"fmt"
+
+	"optanestudy/internal/harness"
+	"optanestudy/internal/platform"
+	"optanestudy/internal/sim"
+)
+
+// Harness scenarios: the Figure 19 cmap overwrite workload. The media param
+// places the pool on DRAM or Optane; run with -socket 1 (or the -remote
+// preset) for the NUMA-degraded arm.
+func init() {
+	harness.Register(harness.Scenario{
+		Name:     "pmemkv/overwrite",
+		Doc:      "PMemKV cmap read-modify-write, workers local to the pool",
+		Defaults: overwriteDefaults(0),
+		Run:      runOverwriteScenario,
+	})
+	harness.Register(harness.Scenario{
+		Name:     "pmemkv/overwrite-remote",
+		Doc:      "PMemKV cmap read-modify-write, workers one UPI hop away",
+		Defaults: overwriteDefaults(1),
+		Run:      runOverwriteScenario,
+	})
+}
+
+func overwriteDefaults(socket int) harness.Defaults {
+	return harness.Defaults{
+		Threads: 8, Socket: socket,
+		Duration: 300 * sim.Microsecond, Seed: 19,
+	}
+}
+
+func runOverwriteScenario(spec harness.Spec) (harness.Trial, error) {
+	r := harness.NewParamReader(spec.Params)
+	media := r.Str("media", "optane")
+	keys := r.Int("keys", 400)
+	keySize := r.Int("keysize", 16)
+	valSize := r.Int("valsize", 128)
+	if err := r.Err(); err != nil {
+		return harness.Trial{}, err
+	}
+
+	cfg := platform.DefaultConfig()
+	cfg.TrackData = true
+	cfg.XP.Wear.Enabled = false
+	p := platform.MustNew(cfg)
+	var ns *platform.Namespace
+	var err error
+	switch media {
+	case "dram":
+		ns, err = p.DRAM("kv", 0, 128<<20)
+	case "optane":
+		ns, err = p.Optane("kv", 0, 128<<20)
+	default:
+		return harness.Trial{}, fmt.Errorf("unknown media %q", media)
+	}
+	if err != nil {
+		return harness.Trial{}, err
+	}
+	res, err := RunOverwrite(OverwriteSpec{
+		Platform: p, NS: ns, Socket: spec.Socket, Threads: spec.Threads,
+		Keys: keys, KeySize: keySize, ValSize: valSize,
+		Duration: spec.Duration, Seed: spec.Seed,
+	})
+	if err != nil {
+		return harness.Trial{}, err
+	}
+	return harness.Trial{
+		Bytes: res.Ops * int64(keySize+valSize),
+		Ops:   res.Ops,
+		Sim:   res.Elapsed,
+	}, nil
+}

@@ -1,0 +1,13 @@
+// Package scenarios links every scenario-providing package into a binary:
+// blank-importing it populates the harness registry with the lattester,
+// fio, lsmkv, pmemkv and figures scenarios. The cmd/* CLIs and the
+// top-level benchmarks import it so they all see one identical registry.
+package scenarios
+
+import (
+	_ "optanestudy/internal/figures"
+	_ "optanestudy/internal/fio"
+	_ "optanestudy/internal/lattester"
+	_ "optanestudy/internal/lsmkv"
+	_ "optanestudy/internal/pmemkv"
+)

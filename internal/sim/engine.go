@@ -48,8 +48,21 @@ func (p *Proc) Advance(d Time) { p.AdvanceTo(p.now + d) }
 func (p *Proc) Sleep(d Time) { p.Advance(d) }
 
 func (p *Proc) yield() {
-	p.seq = p.eng.nextSeq()
-	p.eng.parked <- p
+	e := p.eng
+	// Fast path: if every parked proc is strictly later than this one, the
+	// scheduler would hand control straight back, so skip the park/resume
+	// channel round-trip entirely. Ties must park: FIFO order among equal
+	// times is decided by the heap. Touching e.procs and e.now from the
+	// proc's goroutine is safe because procs run exclusively — Run is
+	// blocked on e.parked until this proc parks or finishes.
+	if len(e.procs) == 0 || p.now < e.procs[0].now {
+		if p.now > e.now {
+			e.now = p.now
+		}
+		return
+	}
+	p.seq = e.nextSeq()
+	e.parked <- p
 	<-p.resume
 }
 
