@@ -32,8 +32,22 @@ func Fig4(q Quality) []stats.Figure {
 	if q == Quick {
 		threads = []int{1, 2, 4, 8, 16, 24}
 	}
+	systems := []string{"DRAM", "Optane-NI", "Optane"}
+	var specs []harness.Spec
+	for _, system := range systems {
+		for _, op := range threeOps {
+			for _, th := range threads {
+				spec := kernel(system, op, patSeq, 256)
+				spec.Threads = th
+				spec.Duration = q.dur(200 * sim.Microsecond)
+				specs = append(specs, spec)
+			}
+		}
+	}
+	trs := trials(specs)
 	var out []stats.Figure
-	for _, system := range []string{"DRAM", "Optane-NI", "Optane"} {
+	k := 0
+	for _, system := range systems {
 		fig := stats.Figure{
 			ID:     "fig4-" + system,
 			Title:  fmt.Sprintf("Bandwidth vs thread count (%s)", system),
@@ -43,10 +57,8 @@ func Fig4(q Quality) []stats.Figure {
 		for _, op := range threeOps {
 			s := stats.Series{Name: opLabel(op)}
 			for _, th := range threads {
-				spec := kernel(system, op, patSeq, 256)
-				spec.Threads = th
-				spec.Duration = q.dur(200 * sim.Microsecond)
-				s.Add(float64(th), trial(spec).GBs)
+				s.Add(float64(th), trs[k].GBs)
+				k++
 			}
 			fig.Series = append(fig.Series, s)
 		}
@@ -68,8 +80,23 @@ func Fig5(q Quality) []stats.Figure {
 		"Optane-NI": {4, 1, 2},
 		"Optane":    {16, 4, 12},
 	}
+	systems := []string{"DRAM", "Optane-NI", "Optane"}
+	var specs []harness.Spec
+	for _, system := range systems {
+		tc := bestThreads[system]
+		for i, op := range threeOps {
+			for _, size := range sizes {
+				spec := kernel(system, op, patRand, size)
+				spec.Threads = tc[i]
+				spec.Duration = q.dur(200 * sim.Microsecond)
+				specs = append(specs, spec)
+			}
+		}
+	}
+	trs := trials(specs)
 	var out []stats.Figure
-	for _, system := range []string{"DRAM", "Optane-NI", "Optane"} {
+	k := 0
+	for _, system := range systems {
 		tc := bestThreads[system]
 		fig := stats.Figure{
 			ID:     "fig5-" + system,
@@ -77,13 +104,11 @@ func Fig5(q Quality) []stats.Figure {
 			XLabel: "access size (bytes)",
 			YLabel: "bandwidth (GB/s)",
 		}
-		for i, op := range threeOps {
+		for _, op := range threeOps {
 			s := stats.Series{Name: opLabel(op)}
 			for _, size := range sizes {
-				spec := kernel(system, op, patRand, size)
-				spec.Threads = tc[i]
-				spec.Duration = q.dur(200 * sim.Microsecond)
-				s.Add(float64(size), trial(spec).GBs)
+				s.Add(float64(size), trs[k].GBs)
+				k++
 			}
 			fig.Series = append(fig.Series, s)
 		}
@@ -97,6 +122,7 @@ func Fig5(q Quality) []stats.Figure {
 // fits. Every sweep point is itself a harness trial of lattester/kernel.
 func Fig9(q Quality) []stats.Figure {
 	sc := lattester.DefaultSweepConfig()
+	sc.Parallel = batchWidth()
 	if q == Quick {
 		sc.AccessSizes = []int{64, 256, 1024}
 		sc.Threads = []int{1, 4, 8}
@@ -139,19 +165,22 @@ func Fig10(q Quality) []stats.Figure {
 		YLabel: "write amplification",
 		Series: []stats.Series{{Name: "WA"}},
 	}
+	var specs []harness.Spec
 	for _, region := range regions {
 		lines := region / 256
 		if lines < 1 {
 			lines = 1
 		}
-		tr := trial(harness.Spec{
+		specs = append(specs, harness.Spec{
 			Scenario: "lattester/xpbuffer-probe",
 			Params: map[string]string{
 				"lines":  strconv.FormatInt(lines, 10),
 				"rounds": "3",
 			},
 		})
-		fig.Series[0].Add(float64(region), tr.Metrics["wa"])
+	}
+	for i, tr := range trials(specs) {
+		fig.Series[0].Add(float64(regions[i]), tr.Metrics["wa"])
 	}
 	return []stats.Figure{fig}
 }
@@ -164,12 +193,10 @@ func Fig13(q Quality) []stats.Figure {
 	if q == Quick {
 		sizes = []int{64, 256, 1 << 10, 4 << 10}
 	}
-	bw := stats.Figure{
-		ID: "fig13-bw", Title: "Bandwidth (6 threads, sequential)",
-		XLabel: "access size (bytes)", YLabel: "bandwidth (GB/s)",
-	}
-	for _, op := range []lattester.Op{lattester.OpNTStore, lattester.OpStoreCLWB, lattester.OpStore} {
-		s := stats.Series{Name: op.String()}
+	bwOps := []lattester.Op{lattester.OpNTStore, lattester.OpStoreCLWB, lattester.OpStore}
+	latOps := []lattester.Op{lattester.OpNTStore, lattester.OpStoreCLWB}
+	var specs []harness.Spec
+	for _, op := range bwOps {
 		for _, size := range sizes {
 			spec := kernel("Optane", op, patSeq, size)
 			spec.Threads = 6
@@ -177,23 +204,41 @@ func Fig13(q Quality) []stats.Figure {
 			if op == lattester.OpStoreCLWB {
 				spec.Params["fence64"] = "true"
 			}
-			s.Add(float64(size), trial(spec).GBs)
+			specs = append(specs, spec)
 		}
-		bw.Series = append(bw.Series, s)
 	}
-
-	lat := stats.Figure{
-		ID: "fig13-lat", Title: "Latency of persistence instructions",
-		XLabel: "access size (bytes)", YLabel: "latency (ns)",
-	}
-	for _, op := range []lattester.Op{lattester.OpNTStore, lattester.OpStoreCLWB} {
-		s := stats.Series{Name: op.String()}
+	for _, op := range latOps {
 		for _, size := range sizes {
 			spec := kernel("Optane", op, patSeq, size)
 			spec.Threads = 1
 			spec.Duration = q.dur(100 * sim.Microsecond)
 			spec.Params["latency"] = "true"
-			s.Add(float64(size), trial(spec).Latency.Mean())
+			specs = append(specs, spec)
+		}
+	}
+	trs := trials(specs)
+	k := 0
+	bw := stats.Figure{
+		ID: "fig13-bw", Title: "Bandwidth (6 threads, sequential)",
+		XLabel: "access size (bytes)", YLabel: "bandwidth (GB/s)",
+	}
+	for _, op := range bwOps {
+		s := stats.Series{Name: op.String()}
+		for _, size := range sizes {
+			s.Add(float64(size), trs[k].GBs)
+			k++
+		}
+		bw.Series = append(bw.Series, s)
+	}
+	lat := stats.Figure{
+		ID: "fig13-lat", Title: "Latency of persistence instructions",
+		XLabel: "access size (bytes)", YLabel: "latency (ns)",
+	}
+	for _, op := range latOps {
+		s := stats.Series{Name: op.String()}
+		for _, size := range sizes {
+			s.Add(float64(size), trs[k].Latency.Mean())
+			k++
 		}
 		lat.Series = append(lat.Series, s)
 	}
@@ -217,8 +262,8 @@ func Fig14(q Quality) []stats.Figure {
 		{lattester.CLWBAfterWrite.String(), "clwb"},
 		{lattester.NTStoreMode.String(), "ntstore"},
 	}
+	var specs []harness.Spec
 	for _, mode := range modes {
-		s := stats.Series{Name: mode.label}
 		for _, size := range sizes {
 			total := int64(12 << 20)
 			if q == Quick {
@@ -227,7 +272,7 @@ func Fig14(q Quality) []stats.Figure {
 			if total < int64(size)*2 {
 				total = int64(size) * 2
 			}
-			tr := trial(harness.Spec{
+			specs = append(specs, harness.Spec{
 				Scenario: "lattester/sfence-interval",
 				Params: map[string]string{
 					"size":  strconv.Itoa(size),
@@ -235,7 +280,15 @@ func Fig14(q Quality) []stats.Figure {
 					"total": strconv.FormatInt(total, 10),
 				},
 			})
-			s.Add(float64(size), tr.GBs)
+		}
+	}
+	trs := trials(specs)
+	k := 0
+	for _, mode := range modes {
+		s := stats.Series{Name: mode.label}
+		for _, size := range sizes {
+			s.Add(float64(size), trs[k].GBs)
+			k++
 		}
 		fig.Series = append(fig.Series, s)
 	}
@@ -255,8 +308,8 @@ func Fig16(q Quality) []stats.Figure {
 		ID: "fig16-write", Title: "iMC contention: ntstore (6 threads)",
 		XLabel: "access size (bytes)", YLabel: "bandwidth (GB/s)",
 	}
-	spreadTrial := func(threads, n, size int, isWrite bool, seed uint64) harness.Trial {
-		return trial(harness.Spec{
+	spreadSpec := func(threads, n, size int, isWrite bool, seed uint64) harness.Spec {
+		return harness.Spec{
 			Scenario: "lattester/spread",
 			Params: map[string]string{
 				"dimms_each": strconv.Itoa(n),
@@ -266,14 +319,25 @@ func Fig16(q Quality) []stats.Figure {
 			Threads:  threads,
 			Duration: q.dur(200 * sim.Microsecond),
 			Seed:     seed,
-		})
+		}
 	}
+	var specs []harness.Spec
+	for _, n := range spreads {
+		for _, size := range sizes {
+			specs = append(specs,
+				spreadSpec(24, n, size, false, 11),
+				spreadSpec(6, n, size, true, 13))
+		}
+	}
+	trs := trials(specs)
+	k := 0
 	for _, n := range spreads {
 		rs := stats.Series{Name: fmt.Sprintf("%d Threads", n)}
 		ws := stats.Series{Name: fmt.Sprintf("%d Threads", n)}
 		for _, size := range sizes {
-			rs.Add(float64(size), spreadTrial(24, n, size, false, 11).GBs)
-			ws.Add(float64(size), spreadTrial(6, n, size, true, 13).GBs)
+			rs.Add(float64(size), trs[k].GBs)
+			ws.Add(float64(size), trs[k+1].GBs)
+			k += 2
 		}
 		read.Series = append(read.Series, rs)
 		write.Series = append(write.Series, ws)
@@ -291,7 +355,7 @@ func Fig18(q Quality) []stats.Figure {
 		XLabel: "mix index (R, 4:1, 3:1, 2:1, 1:1, W)",
 		YLabel: "bandwidth (GB/s)",
 	}
-	for _, conf := range []struct {
+	confs := []struct {
 		name    string
 		socket  int
 		threads int
@@ -300,15 +364,25 @@ func Fig18(q Quality) []stats.Figure {
 		{"Optane-Remote-1", 1, 1},
 		{"Optane-4", 0, 4},
 		{"Optane-Remote-4", 1, 4},
-	} {
-		s := stats.Series{Name: conf.name}
-		for i, m := range mixes {
+	}
+	var specs []harness.Spec
+	for _, conf := range confs {
+		for _, m := range mixes {
 			spec := kernel("Optane", lattester.OpRead, patSeq, 256)
 			spec.Params["mix"] = m
 			spec.Socket = conf.socket
 			spec.Threads = conf.threads
 			spec.Duration = q.dur(150 * sim.Microsecond)
-			s.Add(float64(i), trial(spec).GBs)
+			specs = append(specs, spec)
+		}
+	}
+	trs := trials(specs)
+	k := 0
+	for _, conf := range confs {
+		s := stats.Series{Name: conf.name}
+		for i := range mixes {
+			s.Add(float64(i), trs[k].GBs)
+			k++
 		}
 		fig.Series = append(fig.Series, s)
 	}

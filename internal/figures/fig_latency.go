@@ -33,12 +33,11 @@ func Fig2(q Quality) []stats.Figure {
 		XLabel: "op (0=read-seq 1=read-rand 2=ntstore 3=store+clwb)",
 		YLabel: "idle latency (ns)",
 	}
-	notes := ""
-	for _, system := range []string{"dram", "optane"} {
-		name := map[string]string{"dram": "DRAM", "optane": "Optane"}[system]
-		s := stats.Series{Name: name}
-		for i, c := range cases {
-			tr := trial(harness.Spec{
+	systems := []string{"dram", "optane"}
+	var specs []harness.Spec
+	for _, system := range systems {
+		for _, c := range cases {
+			specs = append(specs, harness.Spec{
 				Scenario: "lattester/idle-latency",
 				Params: map[string]string{
 					"system":  system,
@@ -47,8 +46,18 @@ func Fig2(q Quality) []stats.Figure {
 				},
 				Ops: ops,
 			})
-			s.Add(float64(i), tr.Metrics["mean_ns"])
-			notes += fmt.Sprintf("%s[%d] std=%.1f ", name, i, tr.Metrics["std_ns"])
+		}
+	}
+	trs := trials(specs)
+	k := 0
+	notes := ""
+	for _, system := range systems {
+		name := map[string]string{"dram": "DRAM", "optane": "Optane"}[system]
+		s := stats.Series{Name: name}
+		for i := range cases {
+			s.Add(float64(i), trs[k].Metrics["mean_ns"])
+			notes += fmt.Sprintf("%s[%d] std=%.1f ", name, i, trs[k].Metrics["std_ns"])
+			k++
 		}
 		fig.Series = append(fig.Series, s)
 	}
@@ -68,16 +77,20 @@ func Fig3(q Quality) []stats.Figure {
 		YLabel: "latency (us)",
 		Series: []stats.Series{{Name: "99.99%"}, {Name: "99.999%"}, {Name: "Max"}},
 	}
-	for _, h := range hotspots {
-		tr := trial(harness.Spec{
+	specs := make([]harness.Spec, len(hotspots))
+	for i, h := range hotspots {
+		specs[i] = harness.Spec{
 			Scenario: "lattester/tail-latency",
 			Params:   map[string]string{"hotspot": strconv.FormatInt(h, 10)},
 			Ops:      ops,
-		})
+		}
+	}
+	for i, tr := range trials(specs) {
+		h := float64(hotspots[i])
 		hist := tr.Latency
-		fig.Series[0].Add(float64(h), hist.Percentile(0.9999)/1000)
-		fig.Series[1].Add(float64(h), hist.Percentile(0.99999)/1000)
-		fig.Series[2].Add(float64(h), hist.Max()/1000)
+		fig.Series[0].Add(h, hist.Percentile(0.9999)/1000)
+		fig.Series[1].Add(h, hist.Percentile(0.99999)/1000)
+		fig.Series[2].Add(h, hist.Max()/1000)
 	}
 	return []stats.Figure{fig}
 }
@@ -99,23 +112,37 @@ func Fig6(q Quality) []stats.Figure {
 		ID: "fig6-write", Title: "Latency under load: write (ntstore)",
 		XLabel: "bandwidth (GB/s)", YLabel: "latency (ns)",
 	}
-	loaded := func(system string, op lattester.Op, pat lattester.PatternKind, threads int, d sim.Time) harness.Trial {
+	loaded := func(system string, op lattester.Op, pat lattester.PatternKind, threads int, d sim.Time) harness.Spec {
 		spec := kernel(system, op, pat, 64)
 		spec.Threads = threads
 		spec.Duration = q.dur(200 * sim.Microsecond)
 		spec.Params["delay_ns"] = strconv.FormatInt(int64(d/sim.Nanosecond), 10)
 		spec.Params["latency"] = "true"
-		return trial(spec)
+		return spec
 	}
-	for _, mediaName := range []string{"DRAM", "Optane"} {
-		for _, pat := range []lattester.PatternKind{patRand, patSeq} {
+	medias := []string{"DRAM", "Optane"}
+	pats := []lattester.PatternKind{patRand, patSeq}
+	var specs []harness.Spec
+	for _, mediaName := range medias {
+		for _, pat := range pats {
+			for _, d := range delays {
+				specs = append(specs,
+					loaded(mediaName, lattester.OpRead, pat, 16, d),
+					loaded(mediaName, lattester.OpNTStore, pat, 4, d))
+			}
+		}
+	}
+	trs := trials(specs)
+	k := 0
+	for _, mediaName := range medias {
+		for _, pat := range pats {
 			rs := stats.Series{Name: fmt.Sprintf("%s-%s", mediaName, patLabel(pat))}
 			ws := stats.Series{Name: fmt.Sprintf("%s-%s", mediaName, patLabel(pat))}
-			for _, d := range delays {
-				r := loaded(mediaName, lattester.OpRead, pat, 16, d)
+			for range delays {
+				r, w := trs[k], trs[k+1]
 				rs.Add(r.GBs, r.Latency.Mean())
-				w := loaded(mediaName, lattester.OpNTStore, pat, 4, d)
 				ws.Add(w.GBs, w.Latency.Mean())
+				k += 2
 			}
 			read.Series = append(read.Series, rs)
 			write.Series = append(write.Series, ws)
@@ -137,21 +164,38 @@ func Fig7(q Quality) []stats.Figure {
 	if q == Quick {
 		delays = []sim.Time{0, sim.Microsecond}
 	}
+	mixes := []string{"0:1", "1:1", "1:0"}
+	var specs []harness.Spec
 	for _, sys := range systems {
-		s := stats.Series{Name: sys}
 		for _, d := range delays {
 			spec := emulatedSpec(sys, lattester.OpNTStore, patSeq, 64)
 			spec.Threads = 4
 			spec.Duration = q.dur(150 * sim.Microsecond)
 			spec.Params["delay_ns"] = strconv.FormatInt(int64(d/sim.Nanosecond), 10)
 			spec.Params["latency"] = "true"
-			tr := trial(spec)
-			s.Add(tr.GBs, tr.Latency.Mean())
+			specs = append(specs, spec)
+		}
+	}
+	for _, sys := range systems {
+		for _, m := range mixes {
+			spec := emulatedSpec(sys, lattester.OpRead, patSeq, 256)
+			spec.Threads = 8
+			spec.Duration = q.dur(150 * sim.Microsecond)
+			spec.Params["mix"] = m
+			specs = append(specs, spec)
+		}
+	}
+	trs := trials(specs)
+	k := 0
+	for _, sys := range systems {
+		s := stats.Series{Name: sys}
+		for range delays {
+			s.Add(trs[k].GBs, trs[k].Latency.Mean())
+			k++
 		}
 		curve.Series = append(curve.Series, s)
 	}
 
-	mixes := []string{"0:1", "1:1", "1:0"}
 	mixLabels := []string{"All Wr.", "1:1 Wr.:Rd.", "All Rd."}
 	mixFig := stats.Figure{
 		ID: "fig7-mix", Title: "Bandwidth by thread mix under emulation",
@@ -160,12 +204,9 @@ func Fig7(q Quality) []stats.Figure {
 	}
 	for _, sys := range systems {
 		s := stats.Series{Name: sys}
-		for i, m := range mixes {
-			spec := emulatedSpec(sys, lattester.OpRead, patSeq, 256)
-			spec.Threads = 8
-			spec.Duration = q.dur(150 * sim.Microsecond)
-			spec.Params["mix"] = m
-			s.Add(float64(i), trial(spec).GBs)
+		for i := range mixes {
+			s.Add(float64(i), trs[k].GBs)
+			k++
 		}
 		mixFig.Series = append(mixFig.Series, s)
 	}

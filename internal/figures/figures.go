@@ -8,6 +8,7 @@ package figures
 import (
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"optanestudy/internal/harness"
 	"optanestudy/internal/lattester"
@@ -93,15 +94,31 @@ func patLabel(p lattester.PatternKind) string {
 	return "Rand"
 }
 
-// trial runs one datapoint through the harness driver, panicking on error:
-// figure specs are static, so a failure is a programming mistake, exactly
-// like the namespace-creation panics the runners used before.
-func trial(spec harness.Spec) harness.Trial {
-	res, err := harness.Run(spec)
-	if err != nil {
-		panic("figures: " + err.Error())
+// batchParallel is the worker-pool width figure datapoint batches run at.
+// The figures/* scenario wrapper stamps it with the enclosing driver's
+// effective width (harness.Spec.Parallel) so a -parallel 1 sweep stays
+// serial end to end; 0 (direct generator calls, e.g. from tests) means
+// GOMAXPROCS. Configuration only — the datapoints are byte-identical at
+// any width — and every concurrent writer within one process carries the
+// same CLI-chosen value, so the atomic is just for race-freedom.
+var batchParallel atomic.Int64
+
+// batchWidth returns the current nested-batch pool width.
+func batchWidth() int { return int(batchParallel.Load()) }
+
+// trials runs a batch of datapoint specs through the parallel driver — one
+// independent job per spec, fanned across batchWidth workers — and returns
+// the trials in input order. Seeds derive from each resolved spec, so a
+// figure built from a batch is identical to one built point by point.
+func trials(specs []harness.Spec) []harness.Trial {
+	out := make([]harness.Trial, len(specs))
+	for i, sr := range harness.RunSpecs(specs, batchWidth()) {
+		if sr.Err != nil {
+			panic("figures: " + sr.Err.Error())
+		}
+		out[i] = sr.Result.Trials[0]
 	}
-	return res.Trials[0]
+	return out
 }
 
 // kernel builds the harness spec for one lattester/kernel datapoint against

@@ -38,6 +38,9 @@ func init() {
 				if err := pr.Err(); err != nil {
 					return harness.Trial{}, err
 				}
+				// Nested datapoint batches inherit the driver's pool
+				// width, so -parallel 1 keeps the whole figure serial.
+				batchParallel.Store(int64(spec.Parallel))
 				tr := harness.Trial{Metrics: make(map[string]float64)}
 				var text strings.Builder
 				for _, fig := range r.Run(q) {

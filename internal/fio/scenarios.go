@@ -69,6 +69,7 @@ func runFIO(spec harness.Spec) (harness.Trial, error) {
 	cfg.TrackData = true
 	cfg.XP.Wear.Enabled = false
 	p := platform.MustNew(cfg)
+	defer p.Close()
 	fs, create, err := mountNova(p, pinned)
 	if err != nil {
 		return harness.Trial{}, err

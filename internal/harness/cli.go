@@ -62,6 +62,7 @@ func CLIMain(argv []string, opts CLIOptions) int {
 
 	list := fs.Bool("list", false, "list matching scenarios and exit")
 	format := fs.String("format", "table", "output format: table, csv or json")
+	parallel := fs.Int("parallel", 0, "max concurrent (scenario, trial) jobs (0 = GOMAXPROCS); output is identical at any width")
 	trials := fs.Int("trials", 0, "measured trials per scenario (0 = scenario default)")
 	warmupRuns := fs.Int("warmup-runs", 0, "discarded whole runs before measuring")
 	threads := fs.Int("threads", 0, "worker threads (0 = scenario default)")
@@ -69,8 +70,8 @@ func CLIMain(argv []string, opts CLIOptions) int {
 	durationUS := fs.Int("duration", 0, "measured window in simulated microseconds (0 = default)")
 	warmupUS := fs.Int("warmup", 0, "per-trial warmup in simulated microseconds (0 = default)")
 	ops := fs.Int("ops", 0, "operation budget for count-style scenarios (0 = default)")
-	seed := fs.Uint64("seed", 0, "base RNG seed (0 = scenario default)")
-	det := fs.Bool("deterministic", false, "zero wall-clock fields in JSON output")
+	seed := fs.Uint64("seed", 0, "base RNG seed (0 = scenario default); trial seeds derive from it and the resolved spec")
+	det := fs.Bool("deterministic", false, "suppress wall-clock fields so repeated and parallel runs are byte-identical")
 	params := paramFlag{}
 	fs.Var(params, "p", "scenario param as key=value (repeatable)")
 
@@ -103,17 +104,25 @@ func CLIMain(argv []string, opts CLIOptions) int {
 		fmt.Fprintf(stderr, "%s: %v\n", opts.Command, err)
 		return 2
 	}
-	if jr, ok := rep.(JSONReporter); ok {
-		jr.Deterministic = *det
-		rep = jr
+	switch r := rep.(type) {
+	case JSONReporter:
+		r.Deterministic = *det
+		rep = r
+	case CSVReporter:
+		r.Deterministic = *det
+		rep = r
+	case TableReporter:
+		r.Deterministic = *det
+		rep = r
 	}
 
-	// Run every matched scenario; a failure in one (e.g. a -p param a
-	// sibling scenario does not understand) must not discard the results
-	// of the others.
-	var results []*Result
-	failed := 0
-	for _, sc := range scs {
+	// Run every matched scenario's trials as one job batch over the worker
+	// pool; results and errors come back in registry order, so output is
+	// identical at any -parallel width. A failure in one scenario (e.g. a
+	// -p param a sibling scenario does not understand) must not discard
+	// the results of the others.
+	specs := make([]Spec, len(scs))
+	for i, sc := range scs {
 		spec := Spec{
 			Scenario:   sc.Name,
 			Threads:    *threads,
@@ -131,13 +140,17 @@ func CLIMain(argv []string, opts CLIOptions) int {
 				spec.Params[k] = v
 			}
 		}
-		res, err := Run(spec)
-		if err != nil {
-			fmt.Fprintf(stderr, "%s: %v\n", opts.Command, err)
+		specs[i] = spec
+	}
+	var results []*Result
+	failed := 0
+	for _, sr := range RunSpecs(specs, *parallel) {
+		if sr.Err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", opts.Command, sr.Err)
 			failed++
 			continue
 		}
-		results = append(results, res)
+		results = append(results, sr.Result)
 	}
 
 	if len(results) > 0 {

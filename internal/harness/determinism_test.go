@@ -8,6 +8,8 @@ import (
 
 	"optanestudy/internal/harness"
 	_ "optanestudy/internal/lattester"
+	_ "optanestudy/internal/lsmkv"
+	_ "optanestudy/internal/pmemkv"
 	"optanestudy/internal/sim"
 )
 
@@ -38,6 +40,94 @@ func TestDeterministicJSON(t *testing.T) {
 	}
 	if !json.Valid(a) {
 		t.Fatal("output is not valid JSON")
+	}
+}
+
+// TestParallelByteIdentical is the parallel-pipeline contract: the full
+// deterministic JSON for a mixed batch of scenarios — microbenchmark
+// kernels, the LSM SET bench, and PMemKV, with multiple trials each — must
+// be byte-identical between a serial run and an 8-wide worker pool.
+func TestParallelByteIdentical(t *testing.T) {
+	scenarios := []string{
+		"lattester/seq-ntstore",
+		"lattester/rand-read",
+		"lsmkv/set-walflex",
+		"pmemkv/overwrite",
+	}
+	render := func(parallel string) []byte {
+		var out, errOut bytes.Buffer
+		args := append([]string{
+			"-format=json", "-deterministic", "-duration=20", "-ops=200",
+			"-trials=2", "-parallel=" + parallel,
+		}, scenarios...)
+		code := harness.CLIMain(args, harness.CLIOptions{
+			Command: "test", Stdout: &out, Stderr: &errOut,
+		})
+		if code != 0 {
+			t.Fatalf("-parallel=%s: exit %d, stderr: %s", parallel, code, errOut.String())
+		}
+		return out.Bytes()
+	}
+	serial, parallel := render("1"), render("8")
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("parallel run diverged from serial:\n--- -parallel=1 ---\n%s\n--- -parallel=8 ---\n%s",
+			serial, parallel)
+	}
+	if !json.Valid(serial) {
+		t.Fatal("output is not valid JSON")
+	}
+}
+
+// TestRunSpecsMatchesRun checks the batch scheduler returns, spec by spec,
+// exactly what the single-spec driver produces.
+func TestRunSpecsMatchesRun(t *testing.T) {
+	specs := []harness.Spec{
+		{Scenario: "lattester/seq-ntstore", Threads: 2, Duration: 20 * sim.Microsecond, Trials: 2},
+		{Scenario: "lattester/rand-read", Duration: 20 * sim.Microsecond},
+	}
+	batch := harness.RunSpecs(specs, 4)
+	for i, spec := range specs {
+		want, err := harness.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i].Err != nil {
+			t.Fatalf("spec %d: %v", i, batch[i].Err)
+		}
+		got := batch[i].Result
+		if got.Name != want.Name || len(got.Trials) != len(want.Trials) {
+			t.Fatalf("spec %d: result shape differs: %+v vs %+v", i, got, want)
+		}
+		for j := range got.Trials {
+			if got.Trials[j].Bytes != want.Trials[j].Bytes || got.Trials[j].Sim != want.Trials[j].Sim {
+				t.Errorf("spec %d trial %d differs: %+v vs %+v", i, j, got.Trials[j], want.Trials[j])
+			}
+		}
+	}
+}
+
+// TestRunSpecsIsolatesFailures checks one failing spec neither aborts the
+// batch nor perturbs its siblings' positions.
+func TestRunSpecsIsolatesFailures(t *testing.T) {
+	specs := []harness.Spec{
+		{Scenario: "lattester/seq-read", Duration: 10 * sim.Microsecond},
+		{Scenario: "no/such-scenario"},
+		{Scenario: "lattester/rand-read", Duration: 10 * sim.Microsecond,
+			Params: map[string]string{"bogus": "1"}},
+		{Scenario: "lattester/seq-ntstore", Duration: 10 * sim.Microsecond},
+	}
+	out := harness.RunSpecs(specs, 8)
+	if out[0].Err != nil || out[0].Result == nil || out[0].Result.Name != "lattester/seq-read" {
+		t.Errorf("spec 0: %+v", out[0])
+	}
+	if out[1].Err == nil || !strings.Contains(out[1].Err.Error(), "no/such-scenario") {
+		t.Errorf("spec 1 error = %v", out[1].Err)
+	}
+	if out[2].Err == nil || !strings.Contains(out[2].Err.Error(), "bogus") {
+		t.Errorf("spec 2 error = %v", out[2].Err)
+	}
+	if out[3].Err != nil || out[3].Result == nil || out[3].Result.Name != "lattester/seq-ntstore" {
+		t.Errorf("spec 3: %+v", out[3])
 	}
 }
 

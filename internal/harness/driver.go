@@ -1,163 +1,15 @@
 package harness
 
-import (
-	"fmt"
-	"sort"
-	"time"
-
-	"optanestudy/internal/sim"
-	"optanestudy/internal/stats"
-)
-
-// Trial is the raw outcome of one scenario execution. Scenarios fill the
-// fields they measure; the driver derives GBs/OpsPerSec (when computable
-// from Bytes/Ops and Sim) and stamps Wall.
-type Trial struct {
-	// Bytes moved inside the measured window.
-	Bytes int64
-	// Ops completed inside the measured window.
-	Ops int64
-	// Sim is the measured simulated window.
-	Sim sim.Time
-	// Wall is host wall-clock time for the whole trial (set by the driver).
-	Wall time.Duration
-	// GBs is throughput in decimal GB/s; left zero, the driver derives it
-	// as Bytes over Sim. Scenarios with bespoke rate definitions set it.
-	GBs float64
-	// OpsPerSec is the op rate; derived from Ops over Sim when zero.
-	OpsPerSec float64
-	// Metrics carries scenario-specific extras (e.g. "ewr", figure
-	// datapoints) into reports.
-	Metrics map[string]float64
-	// Latency is the per-op latency distribution (ns) when recorded.
-	Latency *stats.Histogram
-	// Text is an optional human-readable artifact (e.g. a figure's TSV
-	// table); the table reporter prints it, machine formats ignore it.
-	Text string
-}
-
-// Agg summarizes one quantity across trials.
-type Agg struct {
-	Mean, Min, Max, Std float64
-}
-
-func aggregate(vals []float64) Agg {
-	var s stats.Summary
-	for _, v := range vals {
-		s.Add(v)
-	}
-	if s.N() == 0 {
-		return Agg{}
-	}
-	return Agg{Mean: s.Mean(), Min: s.Min(), Max: s.Max(), Std: s.Std()}
-}
-
-// Result is the driver's aggregated outcome for one Spec.
-type Result struct {
-	// Name is the scenario name.
-	Name string
-	// Spec is the fully resolved spec the trials ran with.
-	Spec Spec
-	// Trials are the individual measured runs, in order.
-	Trials []Trial
-	// GBs and OpsPerSec aggregate per-trial rates.
-	GBs       Agg
-	OpsPerSec Agg
-	// P50NS and P99NS are latency percentiles over all trials' samples
-	// (zero when no trial recorded latency).
-	P50NS float64
-	P99NS float64
-	// SimTotal and WallTotal sum the trials' windows.
-	SimTotal  sim.Time
-	WallTotal time.Duration
-	// Metrics aggregates each scenario metric across trials.
-	Metrics map[string]Agg
-}
-
-// trialSeed derives trial i's seed; trial 0 uses the spec seed verbatim so
-// a one-trial harness run reproduces a direct scenario invocation exactly.
-func trialSeed(base uint64, i int) uint64 {
-	return base + uint64(i)*0x9E3779B97F4A7C15
-}
+// The driver is split across three files: job.go constructs and executes
+// independent (spec, trial) jobs with schedule-independent seed derivation,
+// sched.go fans the jobs over a bounded worker pool, and aggregate.go
+// folds completed trials into per-spec Results. This file holds the
+// single-spec entry point.
 
 // Run resolves the spec against its scenario's defaults, executes the
-// warmup runs and measured trials, and aggregates.
+// warmup runs and measured trials, and aggregates. It is equivalent to a
+// one-spec RunSpecs batch on a single worker.
 func Run(spec Spec) (*Result, error) {
-	sc, ok := Lookup(spec.Scenario)
-	if !ok {
-		return nil, fmt.Errorf("harness: unknown scenario %q", spec.Scenario)
-	}
-	spec = spec.withDefaults(sc.Defaults)
-	for i := 0; i < spec.WarmupRuns; i++ {
-		warm := spec
-		warm.Seed = trialSeed(spec.Seed, i)
-		if _, err := sc.Run(warm); err != nil {
-			return nil, fmt.Errorf("%s: warmup run %d: %w", sc.Name, i, err)
-		}
-	}
-	res := &Result{Name: sc.Name, Spec: spec}
-	for i := 0; i < spec.Trials; i++ {
-		tspec := spec
-		tspec.Seed = trialSeed(spec.Seed, i)
-		start := time.Now()
-		tr, err := sc.Run(tspec)
-		if err != nil {
-			return nil, fmt.Errorf("%s: trial %d: %w", sc.Name, i, err)
-		}
-		tr.Wall = time.Since(start)
-		if tr.GBs == 0 && tr.Bytes > 0 && tr.Sim > 0 {
-			tr.GBs = float64(tr.Bytes) / tr.Sim.Seconds() / 1e9
-		}
-		if tr.OpsPerSec == 0 && tr.Ops > 0 && tr.Sim > 0 {
-			tr.OpsPerSec = float64(tr.Ops) / tr.Sim.Seconds()
-		}
-		res.Trials = append(res.Trials, tr)
-	}
-	res.finish()
-	return res, nil
-}
-
-func (r *Result) finish() {
-	var gbs, ops []float64
-	merged := stats.NewHistogram()
-	hasLat := false
-	for _, tr := range r.Trials {
-		gbs = append(gbs, tr.GBs)
-		ops = append(ops, tr.OpsPerSec)
-		r.SimTotal += tr.Sim
-		r.WallTotal += tr.Wall
-		if tr.Latency != nil && tr.Latency.Count() > 0 {
-			merged.Merge(tr.Latency)
-			hasLat = true
-		}
-	}
-	r.GBs = aggregate(gbs)
-	r.OpsPerSec = aggregate(ops)
-	if hasLat {
-		r.P50NS = merged.Percentile(0.5)
-		r.P99NS = merged.Percentile(0.99)
-	}
-	keys := map[string]bool{}
-	for _, tr := range r.Trials {
-		for k := range tr.Metrics {
-			keys[k] = true
-		}
-	}
-	if len(keys) > 0 {
-		r.Metrics = make(map[string]Agg, len(keys))
-		names := make([]string, 0, len(keys))
-		for k := range keys {
-			names = append(names, k)
-		}
-		sort.Strings(names)
-		for _, k := range names {
-			var vals []float64
-			for _, tr := range r.Trials {
-				if v, ok := tr.Metrics[k]; ok {
-					vals = append(vals, v)
-				}
-			}
-			r.Metrics[k] = aggregate(vals)
-		}
-	}
+	sr := RunSpecs([]Spec{spec}, 1)[0]
+	return sr.Result, sr.Err
 }

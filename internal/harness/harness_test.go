@@ -105,12 +105,29 @@ func TestDriverResolvesDefaultsAndAggregates(t *testing.T) {
 	if len(res.Trials) != 3 {
 		t.Fatalf("trials = %d, want 3", len(res.Trials))
 	}
-	// Trial 0 must see the base seed verbatim; later trials differ.
-	if got := res.Trials[0].Metrics["seed"]; got != 7 {
-		t.Errorf("trial 0 seed = %v, want 7", got)
+	// Seeds derive from the resolved spec identity and trial index: every
+	// trial gets a distinct seed, and rerunning the same spec reproduces
+	// the same seeds exactly.
+	if res.Trials[0].Metrics["seed"] == res.Trials[1].Metrics["seed"] {
+		t.Error("trials 0 and 1 share a seed")
 	}
-	if got := res.Trials[1].Metrics["seed"]; got == 7 {
-		t.Error("trial 1 reused the base seed")
+	again, err := Run(Spec{Scenario: "test/golden", Trials: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Trials {
+		if res.Trials[i].Metrics["seed"] != again.Trials[i].Metrics["seed"] {
+			t.Errorf("trial %d seed not reproducible across runs", i)
+		}
+	}
+	// A different resolved identity (here: params) yields a different
+	// seed stream, so sweep points never share randomness by accident.
+	other, err := Run(Spec{Scenario: "test/golden", Params: map[string]string{"knob": "turned"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Trials[0].Metrics["seed"] == res.Trials[0].Metrics["seed"] {
+		t.Error("different params produced the same trial seed")
 	}
 	// GBs derived from Bytes/Sim: 1 MiB over 100 us.
 	wantGBs := float64(1<<20) / (100e-6) / 1e9

@@ -33,17 +33,25 @@ func NewReporter(format string) (Reporter, error) {
 }
 
 // TableReporter renders a human-readable summary table, followed by any
-// scenario metrics and text artifacts.
-type TableReporter struct{}
+// scenario metrics and text artifacts. With Deterministic set the wall
+// column is suppressed, so serial and parallel runs of the same specs
+// print byte-identical tables.
+type TableReporter struct {
+	Deterministic bool
+}
 
 // Report implements Reporter.
-func (TableReporter) Report(w io.Writer, results []*Result) error {
+func (t TableReporter) Report(w io.Writer, results []*Result) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "scenario\tthreads\ttrials\tGB/s\tops/s\tp50(ns)\tp99(ns)\tsim\twall")
 	for _, r := range results {
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\t%.0f\t%.0f\t%.0f\t%v\t%v\n",
+		wall := r.WallTotal.Round(1e6).String()
+		if t.Deterministic {
+			wall = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\t%.0f\t%.0f\t%.0f\t%v\t%s\n",
 			r.Name, r.Spec.Threads, len(r.Trials), r.GBs.Mean, r.OpsPerSec.Mean,
-			r.P50NS, r.P99NS, r.SimTotal, r.WallTotal.Round(1e6))
+			r.P50NS, r.P99NS, r.SimTotal, wall)
 	}
 	if err := tw.Flush(); err != nil {
 		return err
@@ -70,11 +78,14 @@ func (TableReporter) Report(w io.Writer, results []*Result) error {
 	return nil
 }
 
-// CSVReporter emits one row per result with the headline aggregates.
-type CSVReporter struct{}
+// CSVReporter emits one row per result with the headline aggregates. With
+// Deterministic set the wall_ns column is zeroed.
+type CSVReporter struct {
+	Deterministic bool
+}
 
 // Report implements Reporter.
-func (CSVReporter) Report(w io.Writer, results []*Result) error {
+func (c CSVReporter) Report(w io.Writer, results []*Result) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
 		"scenario", "threads", "socket", "trials", "gbs_mean", "gbs_std",
@@ -84,6 +95,10 @@ func (CSVReporter) Report(w io.Writer, results []*Result) error {
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	for _, r := range results {
+		wallNS := r.WallTotal.Nanoseconds()
+		if c.Deterministic {
+			wallNS = 0
+		}
 		rec := []string{
 			r.Name,
 			strconv.Itoa(r.Spec.Threads),
@@ -92,7 +107,7 @@ func (CSVReporter) Report(w io.Writer, results []*Result) error {
 			f(r.GBs.Mean), f(r.GBs.Std), f(r.OpsPerSec.Mean),
 			f(r.P50NS), f(r.P99NS),
 			strconv.FormatInt(int64(r.SimTotal/sim.Nanosecond), 10),
-			strconv.FormatInt(r.WallTotal.Nanoseconds(), 10),
+			strconv.FormatInt(wallNS, 10),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -32,11 +32,24 @@ type Spec struct {
 	Warmup sim.Time
 	// Trials is how many measured trials the driver runs (default 1).
 	Trials int
-	// WarmupRuns is how many whole discarded runs precede the trials.
+	// WarmupRuns is how many whole discarded runs accompany the trials for
+	// wall-clock priming; they carry a seed stream disjoint from the
+	// measured trials and may execute in any order relative to them.
 	WarmupRuns int
-	// Seed is the base RNG seed; trial i derives its seed from Seed and i,
-	// with trial 0 using Seed verbatim.
+	// Seed is the base RNG seed. Each run's effective seed is derived by
+	// hashing the resolved spec identity (scenario name, params, knobs,
+	// Seed) with the run kind and trial index — see deriveSeed — so
+	// changing Seed changes every trial's randomness, but no trial uses
+	// Seed verbatim.
 	Seed uint64
+	// Parallel is stamped by the driver on resolved specs: the pool width
+	// available to a nested batch this spec's scenario fans out (the
+	// requested width divided among the batch's jobs, at least 1).
+	// Scenarios that nest (e.g. figures/*) pass it through so total
+	// concurrency never exceeds the outer -parallel cap and a serial
+	// sweep stays serial end to end. It never participates in seed
+	// derivation or reported config, and results do not depend on it.
+	Parallel int
 }
 
 // withDefaults fills zero fields from the scenario's defaults and merges

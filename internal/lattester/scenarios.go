@@ -158,6 +158,7 @@ func runKernel(spec harness.Spec) (harness.Trial, error) {
 			return harness.Trial{}, err
 		}
 	}
+	defer ns.Platform().Close()
 	res := Run(Spec{
 		NS: ns, Socket: spec.Socket, Op: op, Pattern: pat,
 		AccessSize: size, Threads: spec.Threads, PerThreadRegion: region,
@@ -185,6 +186,7 @@ func runIdleLatency(spec harness.Spec) (harness.Trial, error) {
 			return harness.Trial{}, err
 		}
 	}
+	defer ns.Platform().Close()
 	sum := IdleLatency(IdleLatencySpec{
 		NS: ns, Socket: spec.Socket, Op: op, Pattern: pat,
 		Ops: spec.Ops, Seed: spec.Seed,
@@ -208,6 +210,7 @@ func runTailLatency(spec harness.Spec) (harness.Trial, error) {
 	cfg := platform.DefaultConfig()
 	cfg.XP.Wear.Enabled = wear
 	p := platform.MustNew(cfg)
+	defer p.Close()
 	ns, err := p.Optane("pm", 0, 1<<30)
 	if err != nil {
 		return harness.Trial{}, err
@@ -234,7 +237,8 @@ func runSfenceInterval(spec harness.Spec) (harness.Trial, error) {
 	if err := r.Err(); err != nil {
 		return harness.Trial{}, err
 	}
-	_, ns := NewNIPlatform(false)
+	p, ns := NewNIPlatform(false)
+	defer p.Close()
 	gbs := SfenceInterval(SfenceIntervalSpec{NS: ns, WriteSize: size, Mode: mode, Total: total})
 	return harness.Trial{GBs: gbs}, nil
 }
@@ -250,6 +254,7 @@ func runSpread(spec harness.Spec) (harness.Trial, error) {
 	cfg := platform.DefaultConfig()
 	cfg.XP.Wear.Enabled = false
 	p := platform.MustNew(cfg)
+	defer p.Close()
 	ns, err := p.Optane("pm", 0, 2<<30)
 	if err != nil {
 		return harness.Trial{}, err
@@ -268,7 +273,8 @@ func runRegionProbe(spec harness.Spec) (harness.Trial, error) {
 	if err := r.Err(); err != nil {
 		return harness.Trial{}, err
 	}
-	_, ns := NewNIPlatform(false)
+	p, ns := NewNIPlatform(false)
+	defer p.Close()
 	wa := RegionProbe(ns, lines, rounds)
 	return harness.Trial{
 		Ops:     lines * 2 * int64(rounds),

@@ -30,6 +30,9 @@ type SweepConfig struct {
 	Threads     []int
 	Duration    sim.Time
 	Channel     int // DIMM used for the single-DIMM namespaces
+	// Parallel is the worker-pool width the sweep's trials fan out over
+	// (0 = GOMAXPROCS). The data points are identical at any width.
+	Parallel int
 }
 
 // DefaultSweepConfig mirrors the paper's sweep axes at a size that runs in
@@ -46,16 +49,20 @@ func DefaultSweepConfig() SweepConfig {
 }
 
 // Sweep runs every configuration against a single non-interleaved DIMM and
-// returns the data points (the Figure 9 scatter). Each point is one harness
-// trial of the "lattester/kernel" scenario, so the sweep and the CLIs can
-// never disagree on how a configuration is measured.
+// returns the data points (the Figure 9 scatter) in grid order. Each point
+// is one harness trial of the "lattester/kernel" scenario, so the sweep and
+// the CLIs can never disagree on how a configuration is measured; the
+// trials fan out across SweepConfig.Parallel workers with seeds derived
+// from each point's resolved spec, so the scatter is identical at any
+// pool width.
 func Sweep(sc SweepConfig) []DataPoint {
+	var specs []harness.Spec
 	var points []DataPoint
 	for _, op := range sc.Ops {
 		for _, pat := range sc.Patterns {
 			for _, size := range sc.AccessSizes {
 				for _, threads := range sc.Threads {
-					res, err := harness.Run(harness.Spec{
+					specs = append(specs, harness.Spec{
 						Scenario: "lattester/kernel",
 						Params: map[string]string{
 							"system":  "optane-ni",
@@ -68,21 +75,23 @@ func Sweep(sc SweepConfig) []DataPoint {
 						Duration: sc.Duration,
 						Seed:     uint64(size*31+threads*7) + 1,
 					})
-					if err != nil {
-						panic("lattester: sweep: " + err.Error())
-					}
-					tr := res.Trials[0]
 					points = append(points, DataPoint{
 						Op:         op,
 						Pattern:    pat,
 						AccessSize: size,
 						Threads:    threads,
-						GBs:        tr.GBs,
-						EWR:        tr.Metrics["ewr"],
 					})
 				}
 			}
 		}
+	}
+	for i, sr := range harness.RunSpecs(specs, sc.Parallel) {
+		if sr.Err != nil {
+			panic("lattester: sweep: " + sr.Err.Error())
+		}
+		tr := sr.Result.Trials[0]
+		points[i].GBs = tr.GBs
+		points[i].EWR = tr.Metrics["ewr"]
 	}
 	return points
 }

@@ -60,6 +60,7 @@ func runSet(spec harness.Spec) (harness.Trial, error) {
 		cfg.LLC.Lines = llcLines
 	}
 	p := platform.MustNew(cfg)
+	defer p.Close()
 	res, err := RunSetBench(BenchSpec{
 		Platform: p, PMOnDRAM: onDRAM, Mode: mode,
 		Ops: spec.Ops, Prepopulate: prepop,

@@ -112,6 +112,14 @@ func (p *Platform) Go(name string, socket int, fn func(ctx *MemCtx)) {
 // one timeline.
 func (p *Platform) Run() sim.Time { return p.eng.Run() }
 
+// Close tears the platform down, reaping any simulated threads that were
+// spawned but never run to completion (e.g. when a scenario bails out with
+// an error between Go and Run). It is idempotent, a no-op after a normal
+// Run, and required by the harness statelessness contract so that
+// platform-per-trial construction stays goroutine-leak-free under parallel
+// sweeps. The platform must not be used afterwards.
+func (p *Platform) Close() { p.eng.Stop() }
+
 // CreateNamespace allocates a namespace per the spec.
 func (p *Platform) CreateNamespace(spec topology.Spec) (*Namespace, error) {
 	tns, err := p.layout.Create(spec)

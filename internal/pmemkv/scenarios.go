@@ -47,6 +47,7 @@ func runOverwriteScenario(spec harness.Spec) (harness.Trial, error) {
 	cfg.TrackData = true
 	cfg.XP.Wear.Enabled = false
 	p := platform.MustNew(cfg)
+	defer p.Close()
 	var ns *platform.Namespace
 	var err error
 	switch media {

@@ -64,17 +64,25 @@ func (p *Proc) yield() {
 	p.seq = e.nextSeq()
 	e.parked <- p
 	<-p.resume
+	if e.stopped {
+		panic(procStop{})
+	}
 }
 
 // Engine schedules procs in global simulated-time order.
 type Engine struct {
-	procs  procHeap
-	parked chan *Proc
-	seq    uint64
-	nlive  int
-	nextID int
-	now    Time
+	procs   procHeap
+	parked  chan *Proc
+	seq     uint64
+	nlive   int
+	nextID  int
+	now     Time
+	stopped bool
 }
+
+// procStop is the sentinel panic Stop uses to unwind a parked proc's
+// goroutine through its deferred handlers. Kernels must not recover it.
+type procStop struct{}
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
@@ -94,6 +102,9 @@ func (e *Engine) nextSeq() uint64 {
 // before Run or from within a running proc (in which case start is normally
 // the caller's Now).
 func (e *Engine) Go(name string, start Time, fn func(p *Proc)) *Proc {
+	if e.stopped {
+		panic("sim: Go on a stopped engine")
+	}
 	p := &Proc{
 		eng:    e,
 		name:   name,
@@ -105,10 +116,19 @@ func (e *Engine) Go(name string, start Time, fn func(p *Proc)) *Proc {
 	e.nextID++
 	e.nlive++
 	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procStop); !ok {
+					panic(r)
+				}
+			}
+			p.done = true
+			e.parked <- p
+		}()
 		<-p.resume
-		fn(p)
-		p.done = true
-		e.parked <- p
+		if !e.stopped {
+			fn(p)
+		}
 	}()
 	heap.Push(&e.procs, p)
 	return p
@@ -117,6 +137,9 @@ func (e *Engine) Go(name string, start Time, fn func(p *Proc)) *Proc {
 // Run executes the simulation until every proc has finished. It returns the
 // final simulated time.
 func (e *Engine) Run() Time {
+	if e.stopped {
+		panic("sim: Run on a stopped engine")
+	}
 	for e.nlive > 0 {
 		if e.procs.Len() == 0 {
 			panic("sim: deadlock: live procs but none runnable")
@@ -134,6 +157,31 @@ func (e *Engine) Run() Time {
 		heap.Push(&e.procs, back)
 	}
 	return e.now
+}
+
+// Stop tears the engine down: every live proc — spawned but never run, or
+// parked mid-simulation — is resumed one final time and unwound via a
+// sentinel panic so its goroutine exits without running further simulation
+// work (deferred cleanup in kernels still executes). Stop is idempotent and
+// a no-op after a completed Run; the engine must not be used afterwards.
+func (e *Engine) Stop() {
+	if e.stopped {
+		return
+	}
+	e.stopped = true
+	for e.nlive > 0 {
+		if e.procs.Len() == 0 {
+			panic("sim: Stop: live procs but none parked")
+		}
+		p := heap.Pop(&e.procs).(*Proc)
+		p.resume <- struct{}{}
+		back := <-e.parked
+		if !back.done {
+			heap.Push(&e.procs, back)
+			continue
+		}
+		e.nlive--
+	}
 }
 
 // String reports scheduler state for debugging.

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the goroutine count drops to at most want, or
+// the deadline passes; it returns the final count. Reaped goroutines need a
+// moment to actually exit after their resume.
+func waitGoroutines(want int) int {
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= want || time.Now().After(deadline) {
+			return n
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStopReapsUnrunProcs covers the teardown contract: procs spawned but
+// never run are parked on their resume channel; Stop must unblock and reap
+// every one of them.
+func TestStopReapsUnrunProcs(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		e := NewEngine()
+		for j := 0; j < 8; j++ {
+			e.Go("parked", 0, func(p *Proc) {
+				p.Advance(Microsecond)
+			})
+		}
+		e.Stop()
+	}
+	if after := waitGoroutines(before); after > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// TestStopIdempotentAndAfterRun checks Stop after a completed Run is a
+// no-op and double-Stop is safe.
+func TestStopIdempotentAndAfterRun(t *testing.T) {
+	e := NewEngine()
+	e.Go("a", 0, func(p *Proc) { p.Advance(10 * Nanosecond) })
+	if end := e.Run(); end != 10*Nanosecond {
+		t.Fatalf("end = %v", end)
+	}
+	e.Stop()
+	e.Stop()
+}
+
+// TestGoAfterStopPanics pins the misuse contract.
+func TestGoAfterStopPanics(t *testing.T) {
+	e := NewEngine()
+	e.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Error("Go on a stopped engine did not panic")
+		}
+	}()
+	e.Go("late", 0, func(p *Proc) {})
+}
