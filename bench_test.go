@@ -193,6 +193,13 @@ func BenchmarkScenarioPMemKVOverwrite(b *testing.B) {
 	}, nil)
 }
 
+func BenchmarkScenarioServePoint(b *testing.B) {
+	benchSpec(b, harness.Spec{
+		Scenario: "service/kv/pmemkv", Threads: 4,
+		Duration: 100 * sim.Microsecond,
+	}, map[string]string{"p99-ns": "p99_ns", "achieved-kops": "achieved_kops"})
+}
+
 // ---- Sweep benchmarks: every registered scenario through the batch
 // driver, serial vs parallel — the wall-clock pair BENCH_sweep.json
 // tracks per PR ----

@@ -1,0 +1,27 @@
+// Command servebench drives open-loop traffic against the KV backends
+// through the unified harness: single load points (service/kv/pmemkv,
+// service/kv/lsmkv) and load sweeps that trace the throughput-vs-tail-
+// latency curve and its saturation knee (service/kv/sweep-*).
+//
+// Usage:
+//
+//	servebench -list
+//	servebench 'service/kv/sweep-pmemkv'
+//	servebench -threads 4 -p arrival=burst -p offered=2000 service/kv/pmemkv
+//	servebench -format=json -deterministic 'service/kv/*'
+package main
+
+import (
+	"os"
+
+	"optanestudy/internal/harness"
+	_ "optanestudy/internal/scenarios"
+)
+
+func main() {
+	os.Exit(harness.CLIMain(os.Args[1:], harness.CLIOptions{
+		Command:      "servebench",
+		Doc:          "open-loop KV serving: latency-under-load points and sweep curves",
+		DefaultGlobs: []string{"service/kv/*"},
+	}))
+}

@@ -92,8 +92,8 @@ func (r *Result) finish() {
 	r.GBs = aggregate(gbs)
 	r.OpsPerSec = aggregate(ops)
 	if hasLat {
-		r.P50NS = merged.Percentile(0.5)
-		r.P99NS = merged.Percentile(0.99)
+		ps := merged.Quantiles([]float64{0.5, 0.99})
+		r.P50NS, r.P99NS = ps[0], ps[1]
 	}
 	keys := map[string]bool{}
 	for _, tr := range r.Trials {

@@ -85,7 +85,7 @@ func (c *Channel) PostWrite(t sim.Time, d dimm.DIMM, addr int64) (accepted, drai
 		drained = w.lastDrain // FIFO drain: no entry passes its predecessor
 	}
 	w.lastDrain = drained
-	w.q.Push(drained)
+	w.q.Push(accepted, drained)
 	c.postCount++
 	return accepted, drained
 }
@@ -93,6 +93,13 @@ func (c *Channel) PostWrite(t sim.Time, d dimm.DIMM, addr int64) (accepted, drai
 // WPQOccupancy reports the queued entries for a DIMM at time t (test hook).
 func (c *Channel) WPQOccupancy(t sim.Time, d dimm.DIMM) int {
 	return c.wpq(d).q.Occupancy(t)
+}
+
+// WPQOccupancyTime reports a DIMM's cumulative WPQ entry-residency
+// (utilization accounting; divide by WPQEntries × elapsed for the mean
+// fill fraction).
+func (c *Channel) WPQOccupancyTime(d dimm.DIMM) sim.Time {
+	return c.wpq(d).q.OccupancyTime()
 }
 
 // Posts returns the number of writes posted on this channel.

@@ -495,11 +495,15 @@ func (c *MemCtx) NTStore(ns *Namespace, off int64, size int, data []byte) {
 			if wcData == nil {
 				wcData = zeroLine[:n]
 			}
-			if flushAddr, flushData, complete := c.wc.Write(addr, wcData); complete {
+			// The WC buffer is keyed by global address: SFence drains
+			// leftovers through resolveGlobal, so a relative key would
+			// alias another namespace's lines once more than one
+			// namespace exists.
+			if flushAddr, flushData, complete := c.wc.Write(ns.GlobalAddr(addr), wcData); complete {
 				if data == nil {
 					flushData = nil
 				}
-				t = c.postLine(ns, flushAddr, flushData, t+c.p.cfg.NTPostDelay, true) - c.p.cfg.NTPostDelay
+				t = c.postLine(ns, flushAddr-ns.Base, flushData, t+c.p.cfg.NTPostDelay, true) - c.p.cfg.NTPostDelay
 			}
 		}
 		t += c.p.cfg.NTStoreIssue

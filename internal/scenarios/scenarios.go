@@ -1,7 +1,8 @@
 // Package scenarios links every scenario-providing package into a binary:
 // blank-importing it populates the harness registry with the lattester,
-// fio, lsmkv, pmemkv and figures scenarios. The cmd/* CLIs and the
-// top-level benchmarks import it so they all see one identical registry.
+// fio, lsmkv, pmemkv, service and figures scenarios. The cmd/* CLIs and
+// the top-level benchmarks import it so they all see one identical
+// registry.
 package scenarios
 
 import (
@@ -10,4 +11,5 @@ import (
 	_ "optanestudy/internal/lattester"
 	_ "optanestudy/internal/lsmkv"
 	_ "optanestudy/internal/pmemkv"
+	_ "optanestudy/internal/service"
 )

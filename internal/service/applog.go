@@ -1,0 +1,67 @@
+package service
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"optanestudy/internal/platform"
+)
+
+// AppendLog is a set of per-worker durable append logs: write-behind
+// logging, where a PUT is made durable by appending the record to the
+// serving thread's private log (one sequential non-temporal stream per
+// worker) and the index apply is deferred off the latency path.
+//
+// This is the serving-system shape of the paper's threads-per-DIMM best
+// practice: W workers journaling onto the same DIMM are exactly W
+// concurrent sequential write streams, and once W exceeds the XPBuffer's
+// combining capacity the streams' partially-filled XPLines are closed
+// early, EWR collapses, and the DIMM saturates at a *lower* load than
+// with fewer workers (Section 5.3; Figure 4's non-interleaved write
+// peak).
+type AppendLog struct {
+	ns     *platform.Namespace
+	region int64 // bytes per worker
+	heads  []int64
+}
+
+// NewAppendLog carves region bytes of log per worker out of a fresh
+// namespace on the given media ("optane", "optane-ni" or "dram").
+func NewAppendLog(p *platform.Platform, media string, workers int, region int64) (*AppendLog, error) {
+	if workers < 1 || region < 4096 {
+		return nil, fmt.Errorf("service: bad append-log shape (%d workers, %d bytes)", workers, region)
+	}
+	bs := BackendSpec{Media: media}
+	ns, err := bs.namespace(p, "serve-log")
+	if err != nil {
+		return nil, err
+	}
+	if int64(workers)*region > ns.Size {
+		return nil, fmt.Errorf("service: append log overflows namespace (%d × %d > %d)", workers, region, ns.Size)
+	}
+	return &AppendLog{ns: ns, region: region, heads: make([]int64, workers)}, nil
+}
+
+// Append durably logs a key/value record on worker w's log: an 8-byte
+// length header plus the payload, streamed with non-temporal stores. The
+// log is circular; a record that would straddle the region end wraps to
+// the start (the stream restart is rare and costs one combining miss).
+// A record larger than the per-worker region is an error — wrapping it
+// would spill into the next worker's log.
+func (l *AppendLog) Append(ctx *platform.MemCtx, w int, key, val []byte) error {
+	rec := make([]byte, 8+len(key)+len(val))
+	if int64(len(rec)) > l.region {
+		return fmt.Errorf("service: %d-byte log record exceeds the %d-byte per-worker region", len(rec), l.region)
+	}
+	binary.LittleEndian.PutUint32(rec[0:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(len(val)))
+	copy(rec[8:], key)
+	copy(rec[8+len(key):], val)
+	head := l.heads[w]
+	if head+int64(len(rec)) > l.region {
+		head = 0
+	}
+	l.heads[w] = head + int64(len(rec))
+	ctx.PersistNT(l.ns, int64(w)*l.region+head, len(rec), rec)
+	return nil
+}

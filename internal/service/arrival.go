@@ -1,0 +1,128 @@
+package service
+
+import (
+	"fmt"
+	"math"
+
+	"optanestudy/internal/sim"
+)
+
+// Arrival is an open-loop arrival process: a stream of inter-arrival gaps
+// that is independent of how fast the platform serves requests. Generators
+// are deterministic given their seed, so harness trials replay the exact
+// same offered traffic at any scheduling width.
+type Arrival interface {
+	// Next returns the gap between the previous arrival and the next one.
+	Next() sim.Time
+}
+
+// Deterministic issues arrivals at a fixed rate: every gap is 1/rate.
+type Deterministic struct {
+	gap sim.Time
+}
+
+// NewDeterministic returns a constant-rate process at rate ops per
+// simulated second.
+func NewDeterministic(rate float64) *Deterministic {
+	if rate <= 0 {
+		panic("service: arrival rate must be positive")
+	}
+	gap := sim.Time(math.Round(float64(sim.Second) / rate))
+	if gap < 1 {
+		gap = 1
+	}
+	return &Deterministic{gap: gap}
+}
+
+// Next implements Arrival.
+func (d *Deterministic) Next() sim.Time { return d.gap }
+
+// Poisson issues arrivals as a Poisson process: exponentially distributed
+// gaps with mean 1/rate — the standard model of independent user traffic.
+type Poisson struct {
+	rng  *sim.RNG
+	mean float64 // mean gap in simulated-time units
+}
+
+// NewPoisson returns a Poisson process at mean rate ops per simulated
+// second.
+func NewPoisson(rate float64, seed uint64) *Poisson {
+	if rate <= 0 {
+		panic("service: arrival rate must be positive")
+	}
+	return &Poisson{rng: sim.NewRNG(seed), mean: float64(sim.Second) / rate}
+}
+
+// Next implements Arrival.
+func (p *Poisson) Next() sim.Time {
+	return expGap(p.rng, p.mean)
+}
+
+func expGap(rng *sim.RNG, mean float64) sim.Time {
+	// Inverse-CDF sampling; 1-U is in (0, 1] so the log is finite.
+	return sim.Time(math.Round(-math.Log(1-rng.Float64()) * mean))
+}
+
+// Bursty issues on-off traffic: within each cycle, arrivals form a Poisson
+// process at rate/onFrac during the leading onFrac window and are silent
+// for the rest, preserving the long-run mean rate. This is the flash-crowd
+// shape that stresses the admission queue hardest for a given mean load.
+type Bursty struct {
+	rng    *sim.RNG
+	onMean float64 // mean gap during the on-window
+	cycle  sim.Time
+	on     sim.Time
+	t      sim.Time // absolute time of the previous arrival
+}
+
+// NewBursty returns an on-off process with long-run mean rate ops per
+// simulated second, cycle length cycle, and an on-window of onFrac of each
+// cycle (0 < onFrac <= 1).
+func NewBursty(rate float64, cycle sim.Time, onFrac float64, seed uint64) *Bursty {
+	if rate <= 0 || cycle <= 0 || onFrac <= 0 || onFrac > 1 {
+		panic("service: bad bursty arrival parameters")
+	}
+	on := sim.Time(math.Round(float64(cycle) * onFrac))
+	if on < 1 {
+		on = 1
+	}
+	return &Bursty{
+		rng:    sim.NewRNG(seed),
+		onMean: float64(sim.Second) / rate * onFrac,
+		cycle:  cycle,
+		on:     on,
+	}
+}
+
+// Next implements Arrival.
+func (b *Bursty) Next() sim.Time {
+	prev := b.t
+	t := b.t
+	for {
+		t += expGap(b.rng, b.onMean)
+		if t%b.cycle < b.on {
+			break
+		}
+		// Landed in the off-window: skip to the next cycle's on-window and
+		// redraw (valid because exponential gaps are memoryless).
+		t = (t/b.cycle + 1) * b.cycle
+	}
+	b.t = t
+	return t - prev
+}
+
+// NewArrival builds the named arrival process ("det", "poisson" or
+// "burst") at the given mean rate. cycle and onFrac configure the bursty
+// process and are ignored otherwise.
+func NewArrival(kind string, rate float64, cycle sim.Time, onFrac float64, seed uint64) (Arrival, error) {
+	switch kind {
+	case "det":
+		return NewDeterministic(rate), nil
+	case "poisson":
+		return NewPoisson(rate, seed), nil
+	case "burst":
+		return NewBursty(rate, cycle, onFrac, seed), nil
+	default:
+		return nil, fmt.Errorf("service: unknown arrival process %q (want det, poisson or burst)", kind)
+	}
+}

@@ -1,0 +1,166 @@
+package service
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"optanestudy/internal/lsmkv"
+	"optanestudy/internal/platform"
+	"optanestudy/internal/pmemkv"
+	"optanestudy/internal/pmemobj"
+)
+
+// Backend is the KV engine a frontend serves requests against. Both
+// implementations execute against a simulated platform through a worker's
+// memory context, so service time is the engine's real (simulated) memory
+// cost and queueing delay composes with it into end-to-end latency.
+type Backend interface {
+	Get(ctx *platform.MemCtx, key []byte) ([]byte, bool)
+	Put(ctx *platform.MemCtx, key, val []byte) error
+}
+
+// KeyFor renders the fixed-width key for a global key id, matching the
+// layout the backends are preloaded with.
+func KeyFor(id int64, size int) []byte {
+	k := make([]byte, size)
+	binary.LittleEndian.PutUint64(k, uint64(id))
+	for i := 8; i < size; i++ {
+		k[i] = byte('k' + (id+int64(i))%13)
+	}
+	return k
+}
+
+// ValFor renders a deterministic value for a key id.
+func ValFor(id int64, size int) []byte {
+	v := make([]byte, size)
+	binary.LittleEndian.PutUint64(v, uint64(id)*2654435761+1)
+	return v
+}
+
+// BackendSpec configures a preloaded backend.
+type BackendSpec struct {
+	// Media places the store: "optane" (interleaved), "optane-ni" (a single
+	// DIMM — the contention-study placement) or "dram".
+	Media string
+	// Mode selects the lsmkv persistence strategy ("wal-posix", "wal-flex"
+	// or "pmem-memtable"); ignored by pmemkv.
+	Mode string
+	// Keys is the number of key ids preloaded (every tenant keyspace must
+	// fall inside [0, Keys)).
+	Keys             int64
+	KeySize, ValSize int
+}
+
+func (bs BackendSpec) namespace(p *platform.Platform, name string) (*platform.Namespace, error) {
+	switch bs.Media {
+	case "optane":
+		return p.Optane(name, 0, 128<<20)
+	case "optane-ni":
+		return p.OptaneNI(name, 0, 0, 128<<20)
+	case "dram":
+		return p.DRAM(name, 0, 128<<20)
+	default:
+		return nil, fmt.Errorf("service: unknown media %q (want optane, optane-ni or dram)", bs.Media)
+	}
+}
+
+// NewPMemKV builds a pmemkv cmap on the platform and preloads every key.
+// The load phase runs on its own simulated thread before serving starts.
+func NewPMemKV(p *platform.Platform, bs BackendSpec) (Backend, error) {
+	ns, err := bs.namespace(p, "serve-kv")
+	if err != nil {
+		return nil, err
+	}
+	pool, err := pmemobj.Create(ns)
+	if err != nil {
+		return nil, err
+	}
+	var m *pmemkv.CMap
+	var loadErr error
+	p.Go("serve-load", 0, func(ctx *platform.MemCtx) {
+		m, loadErr = pmemkv.CreateCMap(ctx, pool, int(bs.Keys)*2)
+		if loadErr != nil {
+			return
+		}
+		for id := int64(0); id < bs.Keys; id++ {
+			if err := m.Put(ctx, KeyFor(id, bs.KeySize), ValFor(id, bs.ValSize)); err != nil {
+				loadErr = err
+				return
+			}
+		}
+	})
+	p.Run()
+	if loadErr != nil {
+		return nil, loadErr
+	}
+	return m, nil
+}
+
+// lsmBackend adapts lsmkv.DB: a service PUT is a durable SET.
+type lsmBackend struct {
+	db *lsmkv.DB
+}
+
+func (b *lsmBackend) Get(ctx *platform.MemCtx, key []byte) ([]byte, bool) {
+	return b.db.Get(ctx, key)
+}
+
+func (b *lsmBackend) Put(ctx *platform.MemCtx, key, val []byte) error {
+	return b.db.Set(ctx, key, val)
+}
+
+// NewLSMKV builds an lsmkv database on the platform and preloads every key.
+func NewLSMKV(p *platform.Platform, bs BackendSpec) (Backend, error) {
+	var mode lsmkv.Mode
+	switch bs.Mode {
+	case "wal-posix":
+		mode = lsmkv.ModeWALPOSIX
+	case "wal-flex", "":
+		mode = lsmkv.ModeWALFLEX
+	case "pmem-memtable":
+		mode = lsmkv.ModePersistentMemtable
+	default:
+		return nil, fmt.Errorf("service: unknown lsmkv mode %q", bs.Mode)
+	}
+	pm, err := bs.namespace(p, "serve-pm")
+	if err != nil {
+		return nil, err
+	}
+	dram, err := p.DRAM("serve-mem", 0, 64<<20)
+	if err != nil {
+		return nil, err
+	}
+	var db *lsmkv.DB
+	var loadErr error
+	p.Go("serve-load", 0, func(ctx *platform.MemCtx) {
+		db, loadErr = lsmkv.Open(ctx, lsmkv.Options{
+			Mode: mode, PM: pm, DRAM: dram, MemtableBytes: 8 << 20, Seed: 5,
+		})
+		if loadErr != nil {
+			return
+		}
+		for id := int64(0); id < bs.Keys; id++ {
+			if err := db.Set(ctx, KeyFor(id, bs.KeySize), ValFor(id, bs.ValSize)); err != nil {
+				loadErr = err
+				return
+			}
+		}
+	})
+	p.Run()
+	if loadErr != nil {
+		return nil, loadErr
+	}
+	return &lsmBackend{db: db}, nil
+}
+
+// NewBackend builds the named backend ("pmemkv" or "lsmkv"), preloaded.
+func NewBackend(p *platform.Platform, name string, bs BackendSpec) (Backend, error) {
+	switch name {
+	case "pmemkv":
+		return NewPMemKV(p, bs)
+	case "lsmkv":
+		return NewLSMKV(p, bs)
+	default:
+		return nil, fmt.Errorf("service: unknown backend %q (want pmemkv or lsmkv)", name)
+	}
+}

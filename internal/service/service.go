@@ -1,0 +1,372 @@
+// Package service is a simulated request-serving frontend: open-loop
+// traffic generation against the repository's KV backends.
+//
+// Everything else in the study is closed-loop — a fixed thread count
+// hammers the platform and reports mean latency or bandwidth. The paper's
+// third best practice (limit the number of threads contending for a DIMM)
+// is fundamentally a load-versus-tail-latency phenomenon, so this package
+// models the serving side: arrival processes (deterministic-rate, Poisson,
+// bursty) generate timestamped requests with per-tenant Zipf or uniform
+// key mixes; a dispatcher admits them to a bounded FIFO queue (full queue
+// ⇒ load shedding); a pool of simulated worker threads executes GET / PUT
+// / SCAN against the backend; and per-tenant end-to-end latency — queueing
+// delay plus service time — lands in stats.Histogram tail percentiles.
+// Load sweeps (sweep.go) step offered load across a grid to produce the
+// throughput-versus-p50/p99 curve and locate the saturation knee.
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"optanestudy/internal/platform"
+	"optanestudy/internal/sim"
+	"optanestudy/internal/stats"
+	"optanestudy/internal/workload"
+)
+
+// Op is a request kind.
+type Op int
+
+// Request kinds.
+const (
+	OpGet Op = iota
+	OpPut
+	OpScan
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "GET"
+	case OpPut:
+		return "PUT"
+	default:
+		return "SCAN"
+	}
+}
+
+// Tenant is one traffic class sharing the frontend. Tenants draw keys from
+// disjoint key ranges so popularity skew is per-tenant.
+type Tenant struct {
+	Name string
+	// Theta is the Zipfian skew of the tenant's key popularity, in (0, 1);
+	// 0 selects uniform.
+	Theta float64
+}
+
+// Config configures one open-loop serving run.
+type Config struct {
+	Platform *platform.Platform
+	Backend  Backend
+	// Socket places the worker threads.
+	Socket int
+	// Workers is the service thread-pool size.
+	Workers int
+	// QueueCap bounds the admission queue; a request arriving when the
+	// queue is full is shed (counted, not served). Defaults to 32×Workers.
+	QueueCap int
+	// Arrival is the seeded offered-load process.
+	Arrival Arrival
+	// Tenants share the offered load equally (round-robin-free random
+	// pick); at least one is required.
+	Tenants []Tenant
+	// Keys is the per-tenant key-space size; tenant i owns global ids
+	// [i*Keys, (i+1)*Keys).
+	Keys             int64
+	KeySize, ValSize int
+	// GetFrac/PutFrac/ScanFrac select the op mix; they must sum to ~1.
+	GetFrac, PutFrac, ScanFrac float64
+	// ScanLen is the number of consecutive keys a SCAN reads.
+	ScanLen int
+	// PutLog, when set, switches PUT to write-behind logging: the record
+	// is made durable on the worker's private append log (one sequential
+	// NT stream per worker) instead of updating the backend in place —
+	// the contention-study configuration. It must have at least Workers
+	// per-worker logs.
+	PutLog *AppendLog
+	// Duration is the measured window; Warmup precedes it (requests
+	// arriving during warmup are served but not recorded).
+	Duration sim.Time
+	Warmup   sim.Time
+	// Poll is the idle worker's queue re-check interval (default 200 ns).
+	Poll sim.Time
+	Seed uint64
+}
+
+// TenantStats is one tenant's outcome over the measured window.
+type TenantStats struct {
+	Name      string
+	Offered   int64 // requests generated
+	Dropped   int64 // shed at the admission queue
+	Completed int64 // served to completion
+	// Latency is the end-to-end distribution (ns): queueing delay plus
+	// backend service time.
+	Latency *stats.Histogram
+}
+
+// Result is the outcome of one serving run.
+type Result struct {
+	Tenants []TenantStats
+	// Latency merges every tenant's end-to-end histogram.
+	Latency *stats.Histogram
+	// Window is the measured window (= Config.Duration).
+	Window sim.Time
+	// Offered/Dropped/Completed aggregate the tenants.
+	Offered, Dropped, Completed int64
+	// OfferedRate and AchievedRate are ops per simulated second over the
+	// window.
+	OfferedRate, AchievedRate float64
+	// WorkerBusy is cumulative in-service worker time (utilization =
+	// WorkerBusy / (Workers × Window)).
+	WorkerBusy sim.Time
+	// QueueResidency is the integral of queue occupancy over time (the
+	// aggregate queueing delay); MaxQueueLen is the high-water mark.
+	QueueResidency sim.Time
+	MaxQueueLen    int
+}
+
+// Utilization returns the worker pool's busy fraction over the window.
+func (r *Result) Utilization(workers int) float64 {
+	if workers <= 0 || r.Window <= 0 {
+		return 0
+	}
+	return float64(r.WorkerBusy) / (float64(workers) * float64(r.Window))
+}
+
+// request is one admitted unit of work. Admission is immediate (a full
+// queue sheds instead of delaying), so the arrival timestamp is also the
+// enqueue timestamp.
+type request struct {
+	tenant   int
+	op       Op
+	key      int64 // global key id
+	arrival  sim.Time
+	measured bool
+}
+
+// keyGen draws key ids from one tenant's range.
+type keyGen struct {
+	base int64
+	n    int64
+	zipf *workload.Zipf
+	rng  *sim.RNG
+}
+
+func (g *keyGen) next() int64 {
+	if g.zipf != nil {
+		return g.base + g.zipf.Next()
+	}
+	return g.base + g.rng.Int63n(g.n)
+}
+
+// serveState is the dispatcher/worker shared state. Procs run one at a
+// time and only hand off at explicit time advances, so no locking.
+type serveState struct {
+	queue     []request
+	head      int
+	closed    bool
+	maxLen    int
+	residency sim.Time
+	busy      sim.Time
+	tenants   []TenantStats
+}
+
+func (s *serveState) qlen() int { return len(s.queue) - s.head }
+
+func (s *serveState) push(r request) {
+	s.queue = append(s.queue, r)
+	if n := s.qlen(); n > s.maxLen {
+		s.maxLen = n
+	}
+}
+
+func (s *serveState) pop(now sim.Time) (request, bool) {
+	if s.qlen() == 0 {
+		return request{}, false
+	}
+	r := s.queue[s.head]
+	s.head++
+	if s.head > 1024 && s.head*2 >= len(s.queue) {
+		s.queue = append(s.queue[:0], s.queue[s.head:]...)
+		s.head = 0
+	}
+	s.residency += now - r.arrival
+	return r, true
+}
+
+// Serve runs one open-loop serving experiment on the platform. The
+// platform must already hold the preloaded backend; Serve spawns the
+// dispatcher and worker procs and runs the simulation to completion
+// (admitted requests are drained past the deadline so tails are not
+// truncated).
+func Serve(cfg Config) (*Result, error) {
+	if cfg.Platform == nil || cfg.Backend == nil {
+		return nil, errors.New("service: platform and backend required")
+	}
+	if cfg.Arrival == nil {
+		return nil, errors.New("service: arrival process required")
+	}
+	if cfg.Workers < 1 {
+		return nil, errors.New("service: at least one worker required")
+	}
+	if len(cfg.Tenants) == 0 {
+		return nil, errors.New("service: at least one tenant required")
+	}
+	if cfg.Keys < 1 || cfg.KeySize < 8 || cfg.Duration <= 0 {
+		return nil, errors.New("service: bad keyspace or duration")
+	}
+	total := cfg.GetFrac + cfg.PutFrac + cfg.ScanFrac
+	if total <= 0 {
+		return nil, errors.New("service: op mix fractions must sum > 0")
+	}
+	if cfg.QueueCap < 1 {
+		cfg.QueueCap = 32 * cfg.Workers
+	}
+	if cfg.ScanLen < 1 {
+		cfg.ScanLen = 16
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 200 * sim.Nanosecond
+	}
+
+	p := cfg.Platform
+	st := &serveState{tenants: make([]TenantStats, len(cfg.Tenants))}
+	gens := make([]*keyGen, len(cfg.Tenants))
+	for i, tn := range cfg.Tenants {
+		st.tenants[i] = TenantStats{Name: tn.Name, Latency: stats.NewHistogram()}
+		g := &keyGen{base: int64(i) * cfg.Keys, n: cfg.Keys}
+		if tn.Theta > 0 {
+			g.zipf = workload.NewZipf(cfg.Keys, tn.Theta, cfg.Seed+uint64(i)*7349+11)
+		} else {
+			g.rng = sim.NewRNG(cfg.Seed + uint64(i)*7349 + 11)
+		}
+		gens[i] = g
+	}
+
+	start := p.Now()
+	warmEnd := start + cfg.Warmup
+	deadline := warmEnd + cfg.Duration
+	getCut := cfg.GetFrac / total
+	putCut := (cfg.GetFrac + cfg.PutFrac) / total
+
+	// Dispatcher: walks arrival timestamps, stamps each request with its
+	// tenant, op and key, and either admits it or sheds it.
+	p.Go("serve-arrivals", cfg.Socket, func(ctx *platform.MemCtx) {
+		proc := ctx.Proc()
+		pick := sim.NewRNG(cfg.Seed*0x9E37 + 0xA441)
+		t := start
+		for {
+			t += cfg.Arrival.Next()
+			if t >= deadline {
+				break
+			}
+			proc.AdvanceTo(t)
+			ti := pick.Intn(len(cfg.Tenants))
+			var op Op
+			switch u := pick.Float64(); {
+			case u < getCut:
+				op = OpGet
+			case u < putCut:
+				op = OpPut
+			default:
+				op = OpScan
+			}
+			measured := t >= warmEnd
+			if measured {
+				st.tenants[ti].Offered++
+			}
+			if st.qlen() >= cfg.QueueCap {
+				if measured {
+					st.tenants[ti].Dropped++
+				}
+				continue
+			}
+			st.push(request{
+				tenant: ti, op: op, key: gens[ti].next(),
+				arrival: t, measured: measured,
+			})
+		}
+		st.closed = true
+	})
+
+	// Workers: pop-execute loops. An idle worker re-polls the queue every
+	// cfg.Poll; after the dispatcher closes, workers drain the backlog so
+	// admitted requests always complete.
+	if cfg.PutLog != nil && len(cfg.PutLog.heads) < cfg.Workers {
+		return nil, errors.New("service: append log has fewer per-worker logs than workers")
+	}
+	var execErr error
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		p.Go(fmt.Sprintf("serve-worker%d", w), cfg.Socket, func(ctx *platform.MemCtx) {
+			proc := ctx.Proc()
+			for execErr == nil {
+				req, ok := st.pop(proc.Now())
+				if !ok {
+					if st.closed {
+						return
+					}
+					proc.Sleep(cfg.Poll)
+					continue
+				}
+				t0 := proc.Now()
+				if err := execute(ctx, cfg, w, req); err != nil {
+					execErr = err
+					return
+				}
+				t1 := proc.Now()
+				st.busy += t1 - t0
+				if req.measured {
+					st.tenants[req.tenant].Latency.Add((t1 - req.arrival).Nanoseconds())
+					st.tenants[req.tenant].Completed++
+				}
+			}
+		})
+	}
+	p.Run()
+	if execErr != nil {
+		return nil, execErr
+	}
+
+	res := &Result{
+		Tenants:        st.tenants,
+		Latency:        stats.NewHistogram(),
+		Window:         cfg.Duration,
+		WorkerBusy:     st.busy,
+		QueueResidency: st.residency,
+		MaxQueueLen:    st.maxLen,
+	}
+	for i := range st.tenants {
+		res.Offered += st.tenants[i].Offered
+		res.Dropped += st.tenants[i].Dropped
+		res.Completed += st.tenants[i].Completed
+		res.Latency.Merge(st.tenants[i].Latency)
+	}
+	res.OfferedRate = float64(res.Offered) / cfg.Duration.Seconds()
+	res.AchievedRate = float64(res.Completed) / cfg.Duration.Seconds()
+	return res, nil
+}
+
+// execute runs one request against the backend. A SCAN is modeled as
+// ScanLen consecutive point reads within the tenant's key range (the cmap
+// backend has no ordered iterator, so both backends share this shape).
+func execute(ctx *platform.MemCtx, cfg Config, worker int, req request) error {
+	switch req.op {
+	case OpGet:
+		cfg.Backend.Get(ctx, KeyFor(req.key, cfg.KeySize))
+		return nil
+	case OpPut:
+		if cfg.PutLog != nil {
+			return cfg.PutLog.Append(ctx, worker, KeyFor(req.key, cfg.KeySize), ValFor(req.key+1, cfg.ValSize))
+		}
+		return cfg.Backend.Put(ctx, KeyFor(req.key, cfg.KeySize), ValFor(req.key+1, cfg.ValSize))
+	default:
+		base := int64(req.tenant) * cfg.Keys
+		for i := 0; i < cfg.ScanLen; i++ {
+			id := base + (req.key-base+int64(i))%cfg.Keys
+			cfg.Backend.Get(ctx, KeyFor(id, cfg.KeySize))
+		}
+		return nil
+	}
+}

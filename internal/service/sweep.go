@@ -1,0 +1,158 @@
+package service
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"optanestudy/internal/harness"
+	"optanestudy/internal/sim"
+)
+
+// SweepConfig bounds one load sweep: the point scenario to drive, the
+// offered-load grid, and the knobs shared by every point. Each point is
+// one harness trial of the "service/kv/<backend>" scenario, so sweeps and
+// single-point CLI runs can never disagree on how a load level is
+// measured, and the points fan out across Parallel workers with seeds
+// derived from each point's resolved spec — the curve is identical at any
+// pool width.
+type SweepConfig struct {
+	// Backend is "pmemkv" or "lsmkv".
+	Backend string
+	// Params are extra point-scenario params (media, arrival, mix, ...).
+	Params map[string]string
+	// Threads is the worker-pool size at every point.
+	Threads int
+	// Duration and Warmup are the per-point measured window and warmup.
+	Duration sim.Time
+	Warmup   sim.Time
+	Seed     uint64
+	// MinKops to MaxKops in Points linear steps is the offered-load grid
+	// (thousands of ops per simulated second).
+	MinKops, MaxKops float64
+	Points           int
+	// Parallel is the worker-pool width the sweep's trials fan out over
+	// (0 = GOMAXPROCS).
+	Parallel int
+}
+
+// Point is one load level's outcome.
+type Point struct {
+	// OfferedKops is the requested load (the grid coordinate); GenKops is
+	// what the arrival process actually generated over the window.
+	OfferedKops float64
+	GenKops     float64
+	// AchievedKops is the completed-request rate.
+	AchievedKops float64
+	// DropFrac is the shed fraction of offered requests.
+	DropFrac float64
+	// P50/P95/P99/P999 are end-to-end latency percentiles in ns.
+	P50, P95, P99, P999 float64
+	// Util is the worker pool's busy fraction.
+	Util float64
+}
+
+// Curve is a throughput-latency curve, in ascending offered-load order.
+type Curve []Point
+
+// Grid returns the sweep's offered-load grid in kops.
+func (sc SweepConfig) Grid() []float64 {
+	n := sc.Points
+	if n < 2 {
+		n = 2
+	}
+	grid := make([]float64, n)
+	step := (sc.MaxKops - sc.MinKops) / float64(n-1)
+	for i := range grid {
+		grid[i] = sc.MinKops + float64(i)*step
+	}
+	return grid
+}
+
+// RunSweep measures the curve.
+func RunSweep(sc SweepConfig) (Curve, error) {
+	if sc.Backend == "" {
+		sc.Backend = "pmemkv"
+	}
+	if sc.MinKops <= 0 || sc.MaxKops < sc.MinKops {
+		return nil, fmt.Errorf("service: bad sweep grid [%g, %g]", sc.MinKops, sc.MaxKops)
+	}
+	grid := sc.Grid()
+	specs := make([]harness.Spec, len(grid))
+	for i, kops := range grid {
+		params := make(map[string]string, len(sc.Params)+1)
+		for k, v := range sc.Params {
+			params[k] = v
+		}
+		params["offered"] = strconv.FormatFloat(kops, 'g', -1, 64)
+		specs[i] = harness.Spec{
+			Scenario: "service/kv/" + sc.Backend,
+			Params:   params,
+			Threads:  sc.Threads,
+			Duration: sc.Duration,
+			Warmup:   sc.Warmup,
+			Seed:     sc.Seed,
+		}
+	}
+	curve := make(Curve, len(grid))
+	for i, sr := range harness.RunSpecs(specs, sc.Parallel) {
+		if sr.Err != nil {
+			return nil, sr.Err
+		}
+		m := sr.Result.Trials[0].Metrics
+		curve[i] = Point{
+			OfferedKops:  grid[i],
+			GenKops:      m["offered_kops"],
+			AchievedKops: m["achieved_kops"],
+			DropFrac:     m["drop_frac"],
+			P50:          m["p50_ns"],
+			P95:          m["p95_ns"],
+			P99:          m["p99_ns"],
+			P999:         m["p999_ns"],
+			Util:         m["util"],
+		}
+	}
+	return curve, nil
+}
+
+// KneeIndex locates the saturation knee: the last grid point still keeping
+// up with the load its arrival process actually generated (achieved ≥ 95%
+// of generated — a Poisson process undershoots its nominal rate at light
+// load, which must not read as saturation). Past the knee the platform
+// sheds load and achieved throughput flattens while tail latency climbs.
+// Returns 0 if even the first point is saturated.
+func (c Curve) KneeIndex() int {
+	for i, pt := range c {
+		if pt.AchievedKops < 0.95*pt.GenKops {
+			if i == 0 {
+				return 0
+			}
+			return i - 1
+		}
+	}
+	return len(c) - 1
+}
+
+// SaturationKops returns the maximum achieved throughput on the curve.
+func (c Curve) SaturationKops() float64 {
+	var max float64
+	for _, pt := range c {
+		if pt.AchievedKops > max {
+			max = pt.AchievedKops
+		}
+	}
+	return max
+}
+
+// TSV renders the curve as a figure-style table.
+func (c Curve) TSV(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", title)
+	b.WriteString("offered_kops\tachieved_kops\tdrop_frac\tp50_ns\tp95_ns\tp99_ns\tp999_ns\tutil\n")
+	for _, pt := range c {
+		fmt.Fprintf(&b, "%g\t%.4g\t%.4g\t%.4g\t%.4g\t%.4g\t%.4g\t%.4g\n",
+			pt.OfferedKops, pt.AchievedKops, pt.DropFrac,
+			pt.P50, pt.P95, pt.P99, pt.P999, pt.Util)
+	}
+	return b.String()
+}

@@ -58,6 +58,11 @@ type BoundedQueue struct {
 	cap    int
 	drains []Time // drain times of in-flight entries, FIFO, nondecreasing
 	head   int    // index of the oldest in-flight entry
+
+	// Occupancy-time accounting for utilization reporting, the queue
+	// counterpart of Server.BusyTime: cumulative entry-residency
+	// (sum over entries of drain − admit).
+	occ Time
 }
 
 // NewBoundedQueue returns a queue with the given entry capacity.
@@ -106,15 +111,26 @@ func (q *BoundedQueue) Admit(t Time) Time {
 	return at
 }
 
-// Push records an admitted entry that will drain at the given time. Drain
-// times must be nondecreasing (FIFO drain), which holds when drains are
-// produced by a Server.
-func (q *BoundedQueue) Push(drain Time) {
+// Push records an entry admitted at time at that will drain at the given
+// time. Drain times must be nondecreasing (FIFO drain), which holds when
+// drains are produced by a Server. The entry's residency (drain − at) is
+// accumulated into OccupancyTime.
+func (q *BoundedQueue) Push(at, drain Time) {
+	if drain > at {
+		q.occ += drain - at
+	}
 	q.drains = append(q.drains, drain)
 }
+
+// OccupancyTime returns the cumulative entry-residency granted: the
+// integral of Occupancy over time, in entry-time units. Dividing by
+// Cap × elapsed gives the queue's utilization, the counterpart of
+// Server.BusyTime for servers.
+func (q *BoundedQueue) OccupancyTime() Time { return q.occ }
 
 // Reset clears the queue.
 func (q *BoundedQueue) Reset() {
 	q.drains = q.drains[:0]
 	q.head = 0
+	q.occ = 0
 }

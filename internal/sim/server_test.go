@@ -47,7 +47,7 @@ func TestBoundedQueueAdmitsUpToCap(t *testing.T) {
 		if at != 0 {
 			t.Fatalf("entry %d admitted at %v, want 0", i, at)
 		}
-		q.Push(Time(100+i*10) * Nanosecond)
+		q.Push(0, Time(100+i*10)*Nanosecond)
 	}
 	// Queue full: fourth entry waits for the oldest drain (100ns).
 	at := q.Admit(0)
@@ -58,8 +58,8 @@ func TestBoundedQueueAdmitsUpToCap(t *testing.T) {
 
 func TestBoundedQueueDrainFrees(t *testing.T) {
 	q := NewBoundedQueue(2)
-	q.Push(10 * Nanosecond)
-	q.Push(20 * Nanosecond)
+	q.Push(0, 10*Nanosecond)
+	q.Push(0, 20*Nanosecond)
 	if got := q.Occupancy(5 * Nanosecond); got != 2 {
 		t.Fatalf("occupancy@5 = %d", got)
 	}
@@ -75,13 +75,13 @@ func TestBoundedQueueDeepBacklog(t *testing.T) {
 	q := NewBoundedQueue(4)
 	// 10 entries drain every 10ns starting at 10ns.
 	for i := 1; i <= 4; i++ {
-		q.Push(Time(i*10) * Nanosecond)
+		q.Push(0, Time(i*10)*Nanosecond)
 	}
 	// Entry arriving at 0 with queue full of 4: admitted at first drain.
 	if at := q.Admit(0); at != 10*Nanosecond {
 		t.Fatalf("admit = %v, want 10ns", at)
 	}
-	q.Push(50 * Nanosecond)
+	q.Push(10*Nanosecond, 50*Nanosecond)
 	// Now in-flight drains (after trim at 10ns): 20,30,40,50 — full again.
 	if at := q.Admit(12 * Nanosecond); at != 20*Nanosecond {
 		t.Fatalf("admit = %v, want 20ns", at)
@@ -104,7 +104,7 @@ func TestBoundedQueueInvariant(t *testing.T) {
 				return false
 			}
 			_, drain := srv.Acquire(at, Time(1+r.Intn(30))*Nanosecond)
-			q.Push(drain)
+			q.Push(at, drain)
 			if q.Occupancy(at) > capacity {
 				return false
 			}
@@ -113,6 +113,63 @@ func TestBoundedQueueInvariant(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestBoundedQueueOccupancyTime(t *testing.T) {
+	q := NewBoundedQueue(4)
+	if q.OccupancyTime() != 0 {
+		t.Fatal("fresh queue has nonzero occupancy time")
+	}
+	// Two entries resident 10ns and 30ns: 40ns of entry-residency.
+	q.Push(0, 10*Nanosecond)
+	q.Push(10*Nanosecond, 40*Nanosecond)
+	if got := q.OccupancyTime(); got != 40*Nanosecond {
+		t.Fatalf("occupancy time = %v, want 40ns", got)
+	}
+	// Zero-residency and inverted inputs contribute nothing.
+	q.Push(50*Nanosecond, 50*Nanosecond)
+	q.Push(70*Nanosecond, 60*Nanosecond)
+	if got := q.OccupancyTime(); got != 40*Nanosecond {
+		t.Fatalf("occupancy time after degenerate pushes = %v, want 40ns", got)
+	}
+	// Trimming drained entries must not disturb the accounting.
+	if q.Occupancy(100*Nanosecond) != 0 {
+		t.Fatal("queue should be empty at 100ns")
+	}
+	if got := q.OccupancyTime(); got != 40*Nanosecond {
+		t.Fatalf("occupancy time after trim = %v, want 40ns", got)
+	}
+	q.Reset()
+	if q.OccupancyTime() != 0 {
+		t.Fatal("Reset must clear occupancy time")
+	}
+}
+
+// An entry drains at exactly its drain timestamp: Occupancy at that instant
+// excludes it and a full queue admits a new entry at that same instant.
+func TestBoundedQueueEqualTimestamps(t *testing.T) {
+	q := NewBoundedQueue(2)
+	q.Push(0, 10*Nanosecond)
+	q.Push(0, 10*Nanosecond) // two entries drain at the same instant
+	if got := q.Occupancy(9 * Nanosecond); got != 2 {
+		t.Fatalf("occupancy@9 = %d, want 2", got)
+	}
+	if got := q.Occupancy(10 * Nanosecond); got != 0 {
+		t.Fatalf("occupancy@10 = %d, want 0 (drain boundary is inclusive)", got)
+	}
+	q.Push(10*Nanosecond, 20*Nanosecond)
+	q.Push(10*Nanosecond, 20*Nanosecond)
+	// Admit exactly at the drain instant of a full queue: no waiting.
+	if at := q.Admit(20 * Nanosecond); at != 20*Nanosecond {
+		t.Fatalf("admit@20 = %v, want 20ns", at)
+	}
+	// Admit strictly before: waits for the drain.
+	q.Reset()
+	q.Push(0, 20*Nanosecond)
+	q.Push(0, 20*Nanosecond)
+	if at := q.Admit(19 * Nanosecond); at != 20*Nanosecond {
+		t.Fatalf("admit@19 = %v, want 20ns", at)
 	}
 }
 

@@ -97,36 +97,63 @@ func (h *Histogram) Max() float64 {
 // Percentile returns the value at quantile q in [0, 1]. Within a bucket the
 // lower bound is returned; the exact min/max are used at the extremes.
 func (h *Histogram) Percentile(q float64) float64 {
+	return h.Quantiles([]float64{q})[0]
+}
+
+// Quantiles returns the values at each quantile in qs (each in [0, 1], any
+// order), in one pass over the buckets — cheaper than repeated Percentile
+// calls, and what reporters use for p50/p95/p99/p99.9 rows. The result is
+// parallel to qs.
+func (h *Histogram) Quantiles(qs []float64) []float64 {
+	out := make([]float64, len(qs))
 	if h.count == 0 {
-		return 0
+		return out
 	}
-	if q <= 0 {
-		return h.min
+	// Order the requested quantiles so one bucket walk answers all of them.
+	order := make([]int, len(qs))
+	for i := range order {
+		order[i] = i
 	}
-	if q >= 1 {
-		return h.max
-	}
+	sort.Slice(order, func(i, j int) bool { return qs[order[i]] < qs[order[j]] })
+
 	keys := make([]int32, 0, len(h.buckets))
 	for k := range h.buckets {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	rank := int64(math.Ceil(q * float64(h.count)))
+
+	ki, next := 0, 0
 	var seen int64
-	for _, k := range keys {
-		seen += h.buckets[k]
-		if seen >= rank {
-			v := bucketLow(k)
-			if v < h.min {
-				v = h.min
-			}
-			if v > h.max {
-				v = h.max
-			}
-			return v
+	for _, oi := range order {
+		q := qs[oi]
+		switch {
+		case q <= 0:
+			out[oi] = h.min
+			continue
+		case q >= 1:
+			out[oi] = h.max
+			continue
 		}
+		rank := int64(math.Ceil(q * float64(h.count)))
+		for seen < rank && ki < len(keys) {
+			seen += h.buckets[keys[ki]]
+			next = ki
+			ki++
+		}
+		if seen < rank {
+			out[oi] = h.max
+			continue
+		}
+		v := bucketLow(keys[next])
+		if v < h.min {
+			v = h.min
+		}
+		if v > h.max {
+			v = h.max
+		}
+		out[oi] = v
 	}
-	return h.max
+	return out
 }
 
 // Merge adds all samples of other into h.

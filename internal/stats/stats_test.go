@@ -114,6 +114,77 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantilesMatchPercentile(t *testing.T) {
+	r := sim.NewRNG(17)
+	h := NewHistogram()
+	for i := 0; i < 20000; i++ {
+		h.Add(50 + r.Float64()*5e5)
+	}
+	// Unsorted, with duplicates and extremes: Quantiles must agree with
+	// Percentile element for element.
+	qs := []float64{0.99, 0, 0.5, 0.999, 0.5, 1, 0.95, 0.01}
+	got := h.Quantiles(qs)
+	for i, q := range qs {
+		if want := h.Percentile(q); got[i] != want {
+			t.Errorf("Quantiles[%d] (q=%v) = %v, want %v", i, q, got[i], want)
+		}
+	}
+}
+
+func TestHistogramQuantilesEmpty(t *testing.T) {
+	h := NewHistogram()
+	got := h.Quantiles([]float64{0, 0.5, 1})
+	for i, v := range got {
+		if v != 0 {
+			t.Errorf("empty histogram Quantiles[%d] = %v, want 0", i, v)
+		}
+	}
+	if len(h.Quantiles(nil)) != 0 {
+		t.Error("nil qs must return empty slice")
+	}
+}
+
+// Property: merging per-shard histograms is equivalent to recording every
+// sample in one histogram — the contract per-worker latency aggregation
+// relies on.
+func TestHistogramMergeEquivalence(t *testing.T) {
+	f := func(seed uint64, shardsRaw uint8) bool {
+		shards := int(shardsRaw%7) + 2
+		r := sim.NewRNG(seed)
+		whole := NewHistogram()
+		parts := make([]*Histogram, shards)
+		for i := range parts {
+			parts[i] = NewHistogram()
+		}
+		for i := 0; i < 2000; i++ {
+			v := r.Float64() * 1e6
+			whole.Add(v)
+			parts[i%shards].Add(v)
+		}
+		merged := NewHistogram()
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		if merged.Count() != whole.Count() || merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+			return false
+		}
+		if math.Abs(merged.Mean()-whole.Mean()) > 1e-6*whole.Mean() {
+			return false
+		}
+		qs := []float64{0.5, 0.9, 0.99, 0.999}
+		a, b := merged.Quantiles(qs), whole.Quantiles(qs)
+		for i := range qs {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestSummary(t *testing.T) {
 	var s Summary
 	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {

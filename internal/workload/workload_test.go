@@ -155,6 +155,70 @@ func TestZipfLargeKeyspace(t *testing.T) {
 	}
 }
 
+// Determinism guards: the harness byte-identical contract requires that a
+// generator seeded identically produces the identical stream on every run,
+// no matter the schedule that interleaves it.
+
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(1_000_000, 0.99, 31)
+	b := NewZipf(1_000_000, 0.99, 31)
+	for i := 0; i < 5000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("sample %d: %d vs %d — same seed diverged", i, x, y)
+		}
+	}
+	c := NewZipf(1_000_000, 0.99, 32)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	// Zipf streams share hot items, so some collisions are expected — but a
+	// different seed must not reproduce the stream.
+	if same == 1000 {
+		t.Fatal("different seeds produced an identical Zipf stream")
+	}
+}
+
+func TestPatternScheduleDeterministic(t *testing.T) {
+	build := func(seed uint64) []Pattern {
+		return []Pattern{
+			NewSequential(1<<20, 256),
+			NewRandom(1<<20, 256, seed),
+			NewStride(1<<20, 4096),
+			NewHotspot(1<<16, 4096, 64),
+		}
+	}
+	a, b := build(77), build(77)
+	for i := 0; i < 2000; i++ {
+		for j := range a {
+			if x, y := a[j].Next(), b[j].Next(); x != y {
+				t.Fatalf("pattern %d access %d: %d vs %d — same seed diverged", j, i, x, y)
+			}
+		}
+	}
+}
+
+func TestRecordGenDeterministic(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		gen  func(seed uint64) *RecordGen
+	}{
+		{"uniform", func(s uint64) *RecordGen { return NewRecordGen(20, 100, 1<<20, s) }},
+		{"zipf", func(s uint64) *RecordGen { return NewZipfRecordGen(20, 100, 1<<20, 0.99, s) }},
+		{"seq", func(s uint64) *RecordGen { return NewSeqRecordGen(20, 100, s) }},
+	} {
+		a, b := mk.gen(9), mk.gen(9)
+		for i := 0; i < 1000; i++ {
+			ra, rb := a.Next(), b.Next()
+			if !bytes.Equal(ra.Key, rb.Key) || !bytes.Equal(ra.Value, rb.Value) {
+				t.Fatalf("%s record %d: same seed diverged", mk.name, i)
+			}
+		}
+	}
+}
+
 func TestRecordGenShapes(t *testing.T) {
 	g := NewRecordGen(20, 100, 1<<20, 7)
 	r := g.Next()
