@@ -11,6 +11,7 @@ import (
 
 	"optanestudy/internal/mem"
 	"optanestudy/internal/platform"
+	"optanestudy/internal/pmem"
 	"optanestudy/internal/sim"
 	"optanestudy/internal/vfs"
 )
@@ -56,10 +57,14 @@ func DefaultConfig(v Variant) Config {
 	return cfg
 }
 
-// FS is a mounted daxfs.
+// FS is a mounted daxfs. Data writes stage with plain cached stores;
+// fsync's dirty-range flush goes through the store+clwb persister and the
+// journal blocks stream through the non-temporal persister.
 type FS struct {
 	cfg     Config
-	ns      *platform.Namespace
+	reg     pmem.Region
+	data    *pmem.Persister
+	jnl     *pmem.Persister
 	next    int64
 	files   map[string]*file
 	journal int64 // journal area offset
@@ -75,7 +80,9 @@ func Mount(ns *platform.Namespace, cfg Config) (*FS, error) {
 	}
 	return &FS{
 		cfg:     cfg,
-		ns:      ns,
+		reg:     pmem.Whole(ns),
+		data:    pmem.NewPersister(pmem.StoreFlush),
+		jnl:     pmem.NewPersister(pmem.NTStream),
 		next:    64 << 10, // reserve a superblock/journal region
 		files:   make(map[string]*file),
 		journal: 4096,
@@ -105,7 +112,7 @@ func (f *FS) Create(ctx *platform.MemCtx, name string) (vfs.File, error) {
 		fl.size = 0
 		return fl, nil
 	}
-	if f.next+f.cfg.MaxFileBytes > f.ns.Size {
+	if f.next+f.cfg.MaxFileBytes > f.reg.Size() {
 		return nil, fmt.Errorf("daxfs: no space for %q", name)
 	}
 	fl := &file{fs: f, base: f.next}
@@ -139,7 +146,7 @@ func (fl *file) WriteAt(ctx *platform.MemCtx, off int64, data []byte) error {
 		return err
 	}
 	ctx.Proc().Sleep(fl.fs.cfg.WriteSyscall)
-	ctx.Store(fl.fs.ns, fl.base+off, len(data), data)
+	fl.fs.reg.Store(ctx, fl.base+off, len(data), data)
 	if end := off + int64(len(data)); end > fl.size {
 		fl.size = end
 	}
@@ -159,9 +166,9 @@ func (fl *file) ReadAt(ctx *platform.MemCtx, off int64, buf []byte) error {
 		return err
 	}
 	ctx.Proc().Sleep(fl.fs.cfg.WriteSyscall / 2)
-	ctx.LoadStream(fl.fs.ns, fl.base+off, len(buf))
+	fl.fs.reg.LoadStream(ctx, fl.base+off, len(buf))
 	ctx.DrainLoads()
-	ctx.Peek(fl.fs.ns, fl.base+off, buf)
+	fl.fs.reg.Peek(ctx, fl.base+off, buf)
 	return nil
 }
 
@@ -171,8 +178,8 @@ func (fl *file) Sync(ctx *platform.MemCtx) error {
 	ctx.Proc().Sleep(fl.fs.cfg.FsyncSyscall)
 	if fl.hasDirty {
 		lo := mem.LineAddr(fl.dirtyLo)
-		ctx.CLWB(fl.fs.ns, fl.base+lo, int(fl.dirtyHi-lo))
-		ctx.SFence()
+		fl.fs.data.Flush(ctx, fl.fs.reg, fl.base+lo, int(fl.dirtyHi-lo))
+		fl.fs.data.Fence(ctx)
 		fl.hasDirty = false
 	}
 	fl.fs.journalCommit(ctx)
@@ -186,9 +193,8 @@ func (fl *file) Size() int64 { return fl.size }
 // record, with ordering fences, plus the journal scheduling delay.
 func (f *FS) journalCommit(ctx *platform.MemCtx) {
 	ctx.Proc().Sleep(f.cfg.JournalDelay)
-	ctx.NTStore(f.ns, f.journal, 512, nil)
-	ctx.NTStore(f.ns, f.journal+512, 512, nil)
-	ctx.SFence()
-	ctx.NTStore(f.ns, f.journal+1024, 64, nil)
-	ctx.SFence()
+	f.jnl.Write(ctx, f.reg, f.journal, 512, nil)
+	f.jnl.Write(ctx, f.reg, f.journal+512, 512, nil)
+	f.jnl.Fence(ctx)
+	f.jnl.Persist(ctx, f.reg, f.journal+1024, 64, nil)
 }

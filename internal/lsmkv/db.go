@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"optanestudy/internal/platform"
+	"optanestudy/internal/pmem"
 	"optanestudy/internal/sim"
 )
 
@@ -46,6 +47,9 @@ type Options struct {
 	// MemtableBytes bounds the memtable before a flush (default 1 MB).
 	MemtableBytes int64
 	Seed          uint64
+	// WALPolicy overrides the FLEX record-persist policy (default
+	// NTStream); the WAL-recovery suite re-runs under every policy.
+	WALPolicy *pmem.Policy
 }
 
 // Region layout inside PM: [WAL | memtable (if persistent) | SST area].
@@ -61,6 +65,12 @@ type DB struct {
 	wal  *WAL
 	ssts []*sst
 
+	// pmReg spans the PM namespace; sstCopier streams SST installs through
+	// the non-temporal policy (bulk sequential writes, the access pattern
+	// 3D XPoint likes).
+	pmReg     pmem.Region
+	sstCopier *pmem.Copier
+
 	memNS       *platform.Namespace
 	memBase     int64
 	sstBase     int64
@@ -68,6 +78,7 @@ type DB struct {
 	flushes     int
 	compactions int
 	sets        int64
+	dels        int64
 	replayed    int
 }
 
@@ -95,13 +106,14 @@ func Open(ctx *platform.MemCtx, opt Options) (*DB, error) {
 		opt.MemtableBytes = 1 << 20
 	}
 	db := &DB{opt: opt}
+	db.attachPM()
 	switch opt.Mode {
 	case ModePersistentMemtable:
 		db.memNS = opt.PM
 		db.memBase = walRegion
 		db.mem = NewSkiplist(ctx, opt.PM, db.memBase, opt.MemtableBytes, true, opt.Seed)
 	default:
-		db.wal = NewWAL(ctx, opt.PM, 0, walRegion, walMode(opt.Mode))
+		db.wal = newWAL(ctx, opt)
 		db.memNS = opt.DRAM
 		db.memBase = 0
 		db.mem = NewSkiplist(ctx, opt.DRAM, 0, opt.MemtableBytes, false, opt.Seed)
@@ -109,6 +121,19 @@ func Open(ctx *platform.MemCtx, opt Options) (*DB, error) {
 	db.sstBase = walRegion + opt.MemtableBytes
 	db.sstNext = db.sstBase
 	return db, nil
+}
+
+func (db *DB) attachPM() {
+	db.pmReg = pmem.Whole(db.opt.PM)
+	db.sstCopier = pmem.NewCopier(pmem.NewPersister(pmem.NTStream), 0)
+}
+
+func newWAL(ctx *platform.MemCtx, opt Options) *WAL {
+	pol := pmem.NTStream
+	if opt.WALPolicy != nil {
+		pol = *opt.WALPolicy
+	}
+	return NewWALPolicy(ctx, opt.PM, 0, walRegion, walMode(opt.Mode), pol)
 }
 
 func walMode(m Mode) WALMode {
@@ -119,12 +144,38 @@ func walMode(m Mode) WALMode {
 }
 
 // Set durably inserts a key-value pair (sync per operation, like the
-// paper's db_bench configuration).
+// paper's db_bench configuration). Values must stay below the 64 KB
+// tombstone sentinel.
 func (db *DB) Set(ctx *platform.MemCtx, key, val []byte) error {
+	if len(val) >= tombstoneLen {
+		return fmt.Errorf("lsmkv: %d-byte value collides with the tombstone sentinel (max %d)", len(val), tombstoneLen-1)
+	}
 	db.mu.Lock(ctx.Proc())
 	defer db.mu.Unlock()
+	if err := db.applyLocked(ctx, key, val, false); err != nil {
+		return err
+	}
+	db.sets++
+	return nil
+}
+
+// Delete durably removes key by writing a tombstone (RocksDB-style blind
+// delete: no read of the prior value on the latency path).
+func (db *DB) Delete(ctx *platform.MemCtx, key []byte) error {
+	db.mu.Lock(ctx.Proc())
+	defer db.mu.Unlock()
+	if err := db.applyLocked(ctx, key, nil, true); err != nil {
+		return err
+	}
+	db.dels++
+	return nil
+}
+
+// applyLocked journals and applies one mutation, flushing the memtable and
+// retrying once on exhaustion.
+func (db *DB) applyLocked(ctx *platform.MemCtx, key, val []byte, tomb bool) error {
 	if db.wal != nil {
-		rec := encodeRecord(key, val)
+		rec := encodeAny(key, val, tomb)
 		if err := db.wal.Append(ctx, rec); err != nil {
 			if err == ErrWALFull {
 				if ferr := db.flushLocked(ctx); ferr != nil {
@@ -137,43 +188,50 @@ func (db *DB) Set(ctx *platform.MemCtx, key, val []byte) error {
 			}
 		}
 	}
-	if err := db.mem.Insert(ctx, key, val); err != nil {
+	insert := func() error {
+		if tomb {
+			return db.mem.Delete(ctx, key)
+		}
+		return db.mem.Insert(ctx, key, val)
+	}
+	if err := insert(); err != nil {
 		if err != ErrFull {
 			return err
 		}
 		if err := db.flushLocked(ctx); err != nil {
 			return err
 		}
-		if err := db.mem.Insert(ctx, key, val); err != nil {
+		if err := insert(); err != nil {
 			return err
 		}
 	}
-	db.sets++
 	return nil
 }
 
-// Get returns the newest value for key.
+// Get returns the newest value for key. A tombstone anywhere above an
+// older version hides it.
 func (db *DB) Get(ctx *platform.MemCtx, key []byte) ([]byte, bool) {
 	db.mu.Lock(ctx.Proc())
 	defer db.mu.Unlock()
-	if v, ok := db.mem.Get(ctx, key); ok {
-		return v, true
+	if v, ok, tomb := db.mem.Find(ctx, key); ok || tomb {
+		return v, ok
 	}
 	for i := len(db.ssts) - 1; i >= 0; i-- {
-		if v, ok := db.ssts[i].get(ctx, db.opt.PM, key); ok {
-			return v, true
+		if v, ok, tomb := db.ssts[i].find(ctx, db.pmReg, key); ok || tomb {
+			return v, ok
 		}
 	}
 	return nil, false
 }
 
 // flushLocked writes the memtable to a fresh SST (sequential non-temporal
-// stream), truncates the WAL, and resets the memtable.
+// stream), truncates the WAL, and resets the memtable. Tombstones are
+// carried into the table so they keep shadowing older versions.
 func (db *DB) flushLocked(ctx *platform.MemCtx) error {
 	table := &sst{base: db.sstNext}
 	var buf bytes.Buffer
 	seen := map[string]bool{}
-	db.mem.Scan(ctx, func(key, val []byte) bool {
+	db.mem.Scan(ctx, func(key, val []byte, tomb bool) bool {
 		if seen[string(key)] {
 			return true // newest version already emitted
 		}
@@ -182,7 +240,7 @@ func (db *DB) flushLocked(ctx *platform.MemCtx) error {
 			key: append([]byte(nil), key...),
 			off: int64(buf.Len()),
 		})
-		rec := encodeRecord(key, val)
+		rec := encodeAny(key, val, tomb)
 		var n [4]byte
 		binary.LittleEndian.PutUint32(n[:], uint32(len(rec)))
 		buf.Write(n[:])
@@ -194,7 +252,7 @@ func (db *DB) flushLocked(ctx *platform.MemCtx) error {
 		return errors.New("lsmkv: SST area exhausted")
 	}
 	if table.size > 0 {
-		ctx.PersistNT(db.opt.PM, table.base, buf.Len(), buf.Bytes())
+		db.sstCopier.Persist(ctx, db.pmReg, table.base, buf.Bytes())
 		db.ssts = append(db.ssts, table)
 		db.sstNext += (table.size + 4095) &^ 4095
 	}
@@ -228,10 +286,11 @@ const compactionTrigger = 4
 
 // compactLocked merge-sorts every SST into one (newest version of each
 // key wins), writes it sequentially — the access pattern 3D XPoint likes —
-// and retires the inputs. Space management is generational: the merged
-// table is appended and the old tables' space becomes reusable once the
-// append frontier wraps (a full free-space map is future work, as in the
-// original study's prototype).
+// and retires the inputs. Tombstones drop out here: the merged table is
+// the lowest level, so nothing older remains for them to shadow. Space
+// management is generational: the merged table is appended and the old
+// tables' space becomes reusable once the append frontier wraps (a full
+// free-space map is future work, as in the original study's prototype).
 func (db *DB) compactLocked(ctx *platform.MemCtx) error {
 	if len(db.ssts) < 2 {
 		return nil
@@ -241,21 +300,22 @@ func (db *DB) compactLocked(ctx *platform.MemCtx) error {
 	// Newest tables take precedence: iterate newest-first, keep first
 	// occurrence of each key, then emit in sorted order.
 	kept := map[string][]byte{}
+	seen := map[string]bool{}
 	var order []string
 	for i := len(db.ssts) - 1; i >= 0; i-- {
 		t := db.ssts[i]
 		for _, ie := range t.index {
 			k := string(ie.key)
-			if _, seen := kept[k]; seen {
+			if seen[k] {
 				continue
 			}
-			var n [4]byte
-			ctx.LoadInto(db.opt.PM, t.base+ie.off, n[:])
-			rec := make([]byte, binary.LittleEndian.Uint32(n[:]))
-			ctx.LoadInto(db.opt.PM, t.base+ie.off+4, rec)
-			_, v, err := decodeRecord(rec)
+			seen[k] = true
+			_, v, tomb, err := t.read(ctx, db.pmReg, ie)
 			if err != nil {
 				return err
+			}
+			if tomb {
+				continue // newest version is a delete: the key vanishes
 			}
 			kept[k] = append([]byte(nil), v...)
 			order = append(order, k)
@@ -277,7 +337,7 @@ func (db *DB) compactLocked(ctx *platform.MemCtx) error {
 		return errors.New("lsmkv: SST area exhausted during compaction")
 	}
 	if merged.size > 0 {
-		ctx.PersistNT(db.opt.PM, merged.base, buf.Len(), buf.Bytes())
+		db.sstCopier.Persist(ctx, db.pmReg, merged.base, buf.Bytes())
 		db.sstNext += (merged.size + 4095) &^ 4095
 		db.ssts = []*sst{merged}
 	} else {
@@ -293,23 +353,35 @@ func (db *DB) Compactions() int { return db.compactions }
 // Tables reports the current SST count.
 func (db *DB) Tables() int { return len(db.ssts) }
 
-func (t *sst) get(ctx *platform.MemCtx, pm *platform.Namespace, key []byte) ([]byte, bool) {
+// read loads and decodes the record behind one index entry.
+func (t *sst) read(ctx *platform.MemCtx, pm pmem.Region, ie sstIndexEntry) (key, val []byte, tomb bool, err error) {
+	var n [4]byte
+	pm.LoadInto(ctx, t.base+ie.off, n[:])
+	rec := make([]byte, binary.LittleEndian.Uint32(n[:]))
+	pm.LoadInto(ctx, t.base+ie.off+4, rec)
+	return decodeRecord(rec)
+}
+
+func (t *sst) find(ctx *platform.MemCtx, pm pmem.Region, key []byte) (val []byte, ok, tomb bool) {
 	i := sort.Search(len(t.index), func(i int) bool {
 		return bytes.Compare(t.index[i].key, key) >= 0
 	})
 	if i >= len(t.index) || !bytes.Equal(t.index[i].key, key) {
-		return nil, false
+		return nil, false, false
 	}
-	var n [4]byte
-	ctx.LoadInto(pm, t.base+t.index[i].off, n[:])
-	rec := make([]byte, binary.LittleEndian.Uint32(n[:]))
-	ctx.LoadInto(pm, t.base+t.index[i].off+4, rec)
-	k, v, err := decodeRecord(rec)
+	k, v, tomb, err := t.read(ctx, pm, t.index[i])
 	if err != nil || !bytes.Equal(k, key) {
-		return nil, false
+		return nil, false, false
 	}
-	return v, true
+	if tomb {
+		return nil, false, true
+	}
+	return v, true, false
 }
+
+// tombstoneLen is the valLen sentinel marking a delete record (values are
+// therefore capped one byte short of 64 KB).
+const tombstoneLen = 0xFFFF
 
 func encodeRecord(key, val []byte) []byte {
 	rec := make([]byte, 4+len(key)+len(val))
@@ -320,16 +392,38 @@ func encodeRecord(key, val []byte) []byte {
 	return rec
 }
 
-func decodeRecord(rec []byte) (key, val []byte, err error) {
+// encodeTombstone renders a delete marker for key.
+func encodeTombstone(key []byte) []byte {
+	rec := make([]byte, 4+len(key))
+	binary.LittleEndian.PutUint16(rec[0:], uint16(len(key)))
+	binary.LittleEndian.PutUint16(rec[2:], tombstoneLen)
+	copy(rec[4:], key)
+	return rec
+}
+
+func encodeAny(key, val []byte, tomb bool) []byte {
+	if tomb {
+		return encodeTombstone(key)
+	}
+	return encodeRecord(key, val)
+}
+
+func decodeRecord(rec []byte) (key, val []byte, tomb bool, err error) {
 	if len(rec) < 4 {
-		return nil, nil, fmt.Errorf("lsmkv: short record (%d bytes)", len(rec))
+		return nil, nil, false, fmt.Errorf("lsmkv: short record (%d bytes)", len(rec))
 	}
 	kl := int(binary.LittleEndian.Uint16(rec[0:]))
 	vl := int(binary.LittleEndian.Uint16(rec[2:]))
-	if 4+kl+vl > len(rec) {
-		return nil, nil, fmt.Errorf("lsmkv: corrupt record")
+	if vl == tombstoneLen {
+		if 4+kl > len(rec) {
+			return nil, nil, false, fmt.Errorf("lsmkv: corrupt tombstone")
+		}
+		return rec[4 : 4+kl], nil, true, nil
 	}
-	return rec[4 : 4+kl], rec[4+kl : 4+kl+vl], nil
+	if 4+kl+vl > len(rec) {
+		return nil, nil, false, fmt.Errorf("lsmkv: corrupt record")
+	}
+	return rec[4 : 4+kl], rec[4+kl : 4+kl+vl], false, nil
 }
 
 // RecoverWAL rebuilds a WAL-mode DB's memtable from the durable log after
@@ -344,11 +438,15 @@ func RecoverWAL(ctx *platform.MemCtx, opt Options) (*DB, int, error) {
 	}
 	n := 0
 	err = db.wal.Replay(func(payload []byte) bool {
-		k, v, derr := decodeRecord(payload)
+		k, v, tomb, derr := decodeRecord(payload)
 		if derr != nil {
 			return false
 		}
-		if db.mem.Insert(ctx, k, v) != nil {
+		if tomb {
+			if db.mem.Delete(ctx, k) != nil {
+				return false
+			}
+		} else if db.mem.Insert(ctx, k, v) != nil {
 			return false
 		}
 		db.wal.head += int64(8 + len(payload))
@@ -368,6 +466,7 @@ func RecoverPersistent(ctx *platform.MemCtx, opt Options) (*DB, error) {
 		opt.MemtableBytes = 1 << 20
 	}
 	db := &DB{opt: opt, memNS: opt.PM, memBase: walRegion}
+	db.attachPM()
 	db.mem = RecoverSkiplist(ctx, opt.PM, db.memBase, opt.MemtableBytes, opt.Seed)
 	db.sstBase = walRegion + opt.MemtableBytes
 	db.sstNext = db.sstBase

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"optanestudy/internal/platform"
+	"optanestudy/internal/pmem"
 	"optanestudy/internal/sim"
 )
 
@@ -49,7 +50,7 @@ func TestSkiplistBasic(t *testing.T) {
 		}
 		// Scan order is sorted.
 		var prev []byte
-		s.Scan(ctx, func(k, _ []byte) bool {
+		s.Scan(ctx, func(k, _ []byte, _ bool) bool {
 			if prev != nil && bytes.Compare(prev, k) > 0 {
 				t.Error("scan out of order")
 			}
@@ -99,7 +100,7 @@ func TestSkiplistSortedProperty(t *testing.T) {
 				}
 			}
 			var prev []byte
-			s.Scan(ctx, func(k, _ []byte) bool {
+			s.Scan(ctx, func(k, _ []byte, _ bool) bool {
 				if prev != nil && bytes.Compare(prev, k) > 0 {
 					ok = false
 					return false
@@ -254,29 +255,197 @@ func TestDBFlushAndReadBack(t *testing.T) {
 	p.Run()
 }
 
+// TestDBWALRecovery re-runs the WAL crash-recovery suite under every pmem
+// persist policy for the record stream: whichever instruction sequence
+// carried the append, the fenced records must replay in full — including
+// tombstones, which must keep their keys dead across the crash.
 func TestDBWALRecovery(t *testing.T) {
+	for _, pol := range pmem.Policies() {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			p, pm, dram := newDBPlatform(t)
+			opt := Options{Mode: ModeWALFLEX, PM: pm, DRAM: dram, Seed: 6, WALPolicy: &pol}
+			p.Go("t", 0, func(ctx *platform.MemCtx) {
+				db, _ := Open(ctx, opt)
+				for i := 0; i < 40; i++ {
+					db.Set(ctx, []byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%02d", i)))
+				}
+				db.Delete(ctx, []byte("k07"))
+				db.Delete(ctx, []byte("k31"))
+			})
+			p.Run()
+			p.Crash() // volatile memtable gone; WAL survives
+			p.Go("t", 0, func(ctx *platform.MemCtx) {
+				db, n, err := RecoverWAL(ctx, opt)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if n != 42 {
+					t.Errorf("replayed %d records, want 42", n)
+				}
+				for i := 0; i < 40; i++ {
+					v, ok := db.Get(ctx, []byte(fmt.Sprintf("k%02d", i)))
+					if i == 7 || i == 31 {
+						if ok {
+							t.Errorf("deleted k%02d resurrected: %q", i, v)
+						}
+						continue
+					}
+					if !ok || string(v) != fmt.Sprintf("v%02d", i) {
+						t.Errorf("k%02d lost: %q %v", i, v, ok)
+					}
+				}
+			})
+			p.Run()
+		})
+	}
+}
+
+func TestDBDeleteTombstones(t *testing.T) {
 	p, pm, dram := newDBPlatform(t)
 	p.Go("t", 0, func(ctx *platform.MemCtx) {
-		db, _ := Open(ctx, Options{Mode: ModeWALFLEX, PM: pm, DRAM: dram, Seed: 6})
-		for i := 0; i < 40; i++ {
-			db.Set(ctx, []byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%02d", i)))
+		db, err := Open(ctx, Options{Mode: ModeWALFLEX, PM: pm, DRAM: dram,
+			MemtableBytes: 8 << 10, Seed: 13})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 50; i++ {
+			db.Set(ctx, []byte(fmt.Sprintf("key-%03d", i)), []byte(fmt.Sprintf("val-%03d", i)))
+		}
+		// Push the first versions into SSTs, then delete some keys.
+		if err := db.Flush(ctx); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 50; i += 5 {
+			if err := db.Delete(ctx, []byte(fmt.Sprintf("key-%03d", i))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		check := func(when string) {
+			for i := 0; i < 50; i++ {
+				v, ok := db.Get(ctx, []byte(fmt.Sprintf("key-%03d", i)))
+				if i%5 == 0 {
+					if ok {
+						t.Errorf("%s: deleted key-%03d returned %q", when, i, v)
+					}
+				} else if !ok || string(v) != fmt.Sprintf("val-%03d", i) {
+					t.Errorf("%s: key-%03d = %q, %v", when, i, v, ok)
+				}
+			}
+		}
+		check("in-memtable")
+		// Tombstones must survive a flush (shadowing the SST versions)...
+		if err := db.Flush(ctx); err != nil {
+			t.Error(err)
+			return
+		}
+		check("flushed")
+		// ...and deleted keys must stay gone through compaction.
+		for db.Compactions() == 0 {
+			for i := 100; i < 160; i++ {
+				db.Set(ctx, []byte(fmt.Sprintf("key-%03d", i)), []byte("fill"))
+			}
+			if err := db.Flush(ctx); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		check("compacted")
+	})
+	p.Run()
+}
+
+// A value whose length equals the tombstone sentinel must be refused, not
+// silently re-read as a delete after a flush or WAL replay.
+func TestDBRejectsSentinelLengthValue(t *testing.T) {
+	p, pm, dram := newDBPlatform(t)
+	p.Go("t", 0, func(ctx *platform.MemCtx) {
+		db, err := Open(ctx, Options{Mode: ModeWALFLEX, PM: pm, DRAM: dram, Seed: 15})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := db.Set(ctx, []byte("k"), make([]byte, 0xFFFF)); err == nil {
+			t.Error("sentinel-length value accepted")
+		}
+		if err := db.Set(ctx, []byte("k"), make([]byte, 0xFFFE)); err != nil {
+			t.Errorf("max legal value refused: %v", err)
 		}
 	})
 	p.Run()
-	p.Crash() // volatile memtable gone; WAL survives
+}
+
+func TestDBNativeScan(t *testing.T) {
+	p, pm, dram := newDBPlatform(t)
 	p.Go("t", 0, func(ctx *platform.MemCtx) {
-		db, n, err := RecoverWAL(ctx, Options{Mode: ModeWALFLEX, PM: pm, DRAM: dram, Seed: 6})
+		db, err := Open(ctx, Options{Mode: ModeWALFLEX, PM: pm, DRAM: dram,
+			MemtableBytes: 16 << 10, Seed: 14})
 		if err != nil {
-			t.Fatal(err)
+			t.Error(err)
+			return
 		}
-		if n != 40 {
-			t.Errorf("replayed %d records, want 40", n)
+		// Interleave versions across SSTs and the memtable: first a stale
+		// full load, flush, then fresh overwrites of half the keys.
+		for i := 0; i < 120; i++ {
+			db.Set(ctx, []byte(fmt.Sprintf("key-%03d", i)), []byte("stale"))
 		}
-		for i := 0; i < 40; i++ {
-			v, ok := db.Get(ctx, []byte(fmt.Sprintf("k%02d", i)))
-			if !ok || string(v) != fmt.Sprintf("v%02d", i) {
-				t.Errorf("k%02d lost: %q %v", i, v, ok)
+		if err := db.Flush(ctx); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 120; i += 2 {
+			db.Set(ctx, []byte(fmt.Sprintf("key-%03d", i)), []byte(fmt.Sprintf("fresh-%03d", i)))
+		}
+		db.Delete(ctx, []byte("key-050"))
+		db.Delete(ctx, []byte("key-051"))
+
+		var keys, vals []string
+		n := db.Scan(ctx, []byte("key-040"), 20, func(k, v []byte) bool {
+			keys = append(keys, string(k))
+			vals = append(vals, string(v))
+			return true
+		})
+		if n != 20 || len(keys) != 20 {
+			t.Errorf("scan returned %d records, want 20", n)
+		}
+		if keys[0] != "key-040" {
+			t.Errorf("scan starts at %q", keys[0])
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] >= keys[i] {
+				t.Errorf("scan out of order: %q then %q", keys[i-1], keys[i])
 			}
+		}
+		for i, k := range keys {
+			if k == "key-050" || k == "key-051" {
+				t.Errorf("scan emitted deleted key %q", k)
+			}
+			var id int
+			fmt.Sscanf(k, "key-%d", &id)
+			want := "stale"
+			if id%2 == 0 {
+				want = fmt.Sprintf("fresh-%03d", id)
+			}
+			if vals[i] != want {
+				t.Errorf("%s = %q, want %q (newest version must win)", k, vals[i], want)
+			}
+		}
+		// The 20 records skip the two tombstones: the run must extend two
+		// keys further than a dense range would.
+		if keys[len(keys)-1] != "key-061" {
+			t.Errorf("scan ended at %q, want key-061 (tombstones skipped, not counted)", keys[len(keys)-1])
+		}
+		// Early termination.
+		count := 0
+		if got := db.Scan(ctx, []byte("key-000"), 50, func(_, _ []byte) bool {
+			count++
+			return count < 5
+		}); got != 5 || count != 5 {
+			t.Errorf("early-stop scan: emitted %d, callback saw %d", got, count)
 		}
 	})
 	p.Run()

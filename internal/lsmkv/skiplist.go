@@ -1,8 +1,9 @@
 // Package lsmkv is an LSM-tree key-value store in the style of RocksDB,
 // built for the Section 4.2 / 5.1.1 experiments: a skiplist memtable that
 // can live either in DRAM (volatile, paired with a write-ahead log) or in
-// persistent memory (fine-grained persistence), plus sorted-table flushes
-// and a db_bench-style SET workload.
+// persistent memory (fine-grained persistence), plus sorted-table flushes,
+// native sorted-range scans, tombstone deletes, and a db_bench-style SET
+// workload.
 package lsmkv
 
 import (
@@ -11,28 +12,32 @@ import (
 	"errors"
 
 	"optanestudy/internal/platform"
+	"optanestudy/internal/pmem"
 	"optanestudy/internal/sim"
 )
 
 const (
 	maxHeight = 12
-	// Node layout: [2B keyLen][2B valLen][1B height][3B pad]
+	// Node layout: [2B keyLen][2B valLen][1B height][1B flags][2B pad]
 	// [height × 8B next offsets][key][val]
 	nodeHeaderSize = 8
+	// nodeTombstone in the flags byte marks a delete marker.
+	nodeTombstone = 1
 )
 
 // Skiplist is a memtable over a namespace-backed arena. In persistent mode
-// every node write and pointer update is individually persisted (store +
-// clwb + sfence) — the fine-grained approach whose small random writes the
+// node bodies stream through the non-temporal persister (fresh
+// allocations) while the level-0 link persists through the store+clwb
+// persister — the fine-grained approach whose small random writes the
 // paper shows to be hostile to 3D XPoint.
 type Skiplist struct {
-	ns         *platform.Namespace
-	base       int64
-	size       int64
+	reg        pmem.Region
 	persistent bool
+	body       *pmem.Persister // node bodies (NT stream)
+	link       *pmem.Persister // level-0 links (store+clwb)
 
-	head   int64 // offset of head tower
-	arena  int64 // bump frontier (relative to base)
+	head   int64 // offset of head tower (region-relative)
+	arena  int64 // bump frontier
 	height int
 	rng    *sim.RNG
 	count  int
@@ -40,12 +45,9 @@ type Skiplist struct {
 
 // NewSkiplist initializes an empty skiplist in [base, base+size) of ns.
 func NewSkiplist(ctx *platform.MemCtx, ns *platform.Namespace, base, size int64, persistent bool, seed uint64) *Skiplist {
-	s := &Skiplist{
-		ns: ns, base: base, size: size, persistent: persistent,
-		height: 1, rng: sim.NewRNG(seed),
-	}
+	s := attachSkiplist(ns, base, size, persistent, seed)
+	s.height = 1
 	// Head tower: full-height node with zero-length key.
-	s.head = s.base
 	headSize := int64(nodeHeaderSize + maxHeight*8)
 	s.arena = headSize
 	hdr := make([]byte, headSize)
@@ -55,15 +57,28 @@ func NewSkiplist(ctx *platform.MemCtx, ns *platform.Namespace, base, size int64,
 	return s
 }
 
-func (s *Skiplist) write(ctx *platform.MemCtx, off int64, data []byte) {
-	if s.persistent {
-		ctx.PersistStore(s.ns, off, len(data), data)
-	} else {
-		ctx.Store(s.ns, off, len(data), data)
+func attachSkiplist(ns *platform.Namespace, base, size int64, persistent bool, seed uint64) *Skiplist {
+	reg, err := pmem.NewRegion(ns, base, size)
+	if err != nil {
+		panic(err)
+	}
+	return &Skiplist{
+		reg: reg, persistent: persistent,
+		body: pmem.NewPersister(pmem.NTStream),
+		link: pmem.NewPersister(pmem.StoreFlush),
+		head: 0, rng: sim.NewRNG(seed),
 	}
 }
 
-// Count returns the number of entries.
+func (s *Skiplist) write(ctx *platform.MemCtx, off int64, data []byte) {
+	if s.persistent {
+		s.link.Persist(ctx, s.reg, off, len(data), data)
+	} else {
+		s.reg.Store(ctx, off, len(data), data)
+	}
+}
+
+// Count returns the number of entries (tombstones included).
 func (s *Skiplist) Count() int { return s.count }
 
 // Bytes returns the arena bytes consumed.
@@ -82,16 +97,18 @@ type nodeRef struct {
 	keyLen int
 	valLen int
 	height int
+	tomb   bool
 }
 
 func (s *Skiplist) loadNode(ctx *platform.MemCtx, off int64) nodeRef {
 	var hdr [nodeHeaderSize]byte
-	ctx.LoadInto(s.ns, off, hdr[:])
+	s.reg.LoadInto(ctx, off, hdr[:])
 	return nodeRef{
 		off:    off,
 		keyLen: int(binary.LittleEndian.Uint16(hdr[0:])),
 		valLen: int(binary.LittleEndian.Uint16(hdr[2:])),
 		height: int(hdr[4]),
+		tomb:   hdr[5]&nodeTombstone != 0,
 	}
 }
 
@@ -101,19 +118,19 @@ func (s *Skiplist) nextOff(n nodeRef, level int) int64 {
 
 func (s *Skiplist) loadNext(ctx *platform.MemCtx, n nodeRef, level int) int64 {
 	var buf [8]byte
-	ctx.LoadInto(s.ns, s.nextOff(n, level), buf[:])
+	s.reg.LoadInto(ctx, s.nextOff(n, level), buf[:])
 	return int64(binary.LittleEndian.Uint64(buf[:]))
 }
 
 func (s *Skiplist) nodeKey(ctx *platform.MemCtx, n nodeRef) []byte {
 	key := make([]byte, n.keyLen)
-	ctx.LoadInto(s.ns, n.off+nodeHeaderSize+int64(n.height)*8, key)
+	s.reg.LoadInto(ctx, n.off+nodeHeaderSize+int64(n.height)*8, key)
 	return key
 }
 
 func (s *Skiplist) nodeVal(ctx *platform.MemCtx, n nodeRef) []byte {
 	val := make([]byte, n.valLen)
-	ctx.LoadInto(s.ns, n.off+nodeHeaderSize+int64(n.height)*8+int64(n.keyLen), val)
+	s.reg.LoadInto(ctx, n.off+nodeHeaderSize+int64(n.height)*8+int64(n.keyLen), val)
 	return val
 }
 
@@ -145,14 +162,24 @@ var ErrFull = errors.New("lsmkv: memtable full")
 // front of the equal-key run (newest wins on lookup), like RocksDB's
 // memtable sequence ordering.
 func (s *Skiplist) Insert(ctx *platform.MemCtx, key, val []byte) error {
+	return s.insert(ctx, key, val, false)
+}
+
+// Delete inserts a tombstone for key: lookups see the key as gone, and the
+// marker survives flushes so older SST versions stay shadowed.
+func (s *Skiplist) Delete(ctx *platform.MemCtx, key []byte) error {
+	return s.insert(ctx, key, nil, true)
+}
+
+func (s *Skiplist) insert(ctx *platform.MemCtx, key, val []byte, tomb bool) error {
 	preds := s.findPredecessors(ctx, key)
 	h := s.randomHeight()
 	nodeSize := int64(nodeHeaderSize + h*8 + len(key) + len(val))
 	nodeSize = (nodeSize + 7) &^ 7
-	if s.arena+nodeSize > s.size {
+	if s.arena+nodeSize > s.reg.Size() {
 		return ErrFull
 	}
-	off := s.base + s.arena
+	off := s.arena
 	s.arena += nodeSize
 
 	// Build and persist the node body before linking.
@@ -160,7 +187,9 @@ func (s *Skiplist) Insert(ctx *platform.MemCtx, key, val []byte) error {
 	binary.LittleEndian.PutUint16(buf[0:], uint16(len(key)))
 	binary.LittleEndian.PutUint16(buf[2:], uint16(len(val)))
 	buf[4] = byte(h)
-	node := nodeRef{off: off, keyLen: len(key), valLen: len(val), height: h}
+	if tomb {
+		buf[5] = nodeTombstone
+	}
 	for level := 0; level < h; level++ {
 		var pred nodeRef
 		if level < s.height {
@@ -177,9 +206,9 @@ func (s *Skiplist) Insert(ctx *platform.MemCtx, key, val []byte) error {
 		// Fresh allocation: stream the node body with non-temporal stores
 		// (no ownership read of lines we fully overwrite); the fence is
 		// shared with the level-0 link below.
-		ctx.NTStore(s.ns, off, len(buf), buf)
+		s.body.Write(ctx, s.reg, off, len(buf), buf)
 	} else {
-		ctx.Store(s.ns, off, len(buf), buf)
+		s.reg.Store(ctx, off, len(buf), buf)
 	}
 
 	// Link bottom-up with 8-byte pointer updates. In persistent mode only
@@ -198,42 +227,56 @@ func (s *Skiplist) Insert(ctx *platform.MemCtx, key, val []byte) error {
 		}
 		if s.persistent {
 			if level == 0 {
-				ctx.Store(s.ns, s.nextOff(pred, 0), len(ptr), ptr[:])
-				ctx.CLWB(s.ns, s.nextOff(pred, 0), len(ptr))
+				s.link.Write(ctx, s.reg, s.nextOff(pred, 0), len(ptr), ptr[:])
 			} else {
-				ctx.Store(s.ns, s.nextOff(pred, level), len(ptr), ptr[:])
+				s.reg.Store(ctx, s.nextOff(pred, level), len(ptr), ptr[:])
 			}
 		} else {
 			s.write(ctx, s.nextOff(pred, level), ptr[:])
 		}
 	}
 	if s.persistent {
-		ctx.SFence() // settles the node body and the level-0 link together
+		s.body.Fence(ctx) // settles the node body and the level-0 link together
 	}
 	if h > s.height {
 		s.height = h
 	}
-	_ = node
 	s.count++
 	return nil
 }
 
-// Get returns the newest value for key.
+// Get returns the newest value for key. A tombstoned key reads as absent
+// (use Find when the caller must distinguish deletion from absence).
 func (s *Skiplist) Get(ctx *platform.MemCtx, key []byte) ([]byte, bool) {
+	val, ok, tomb := s.Find(ctx, key)
+	if tomb {
+		return nil, false
+	}
+	return val, ok
+}
+
+// Find returns the newest value for key, reporting a tombstone separately
+// so a layered store can stop its lookup instead of falling through to
+// older tables.
+func (s *Skiplist) Find(ctx *platform.MemCtx, key []byte) (val []byte, ok, tomb bool) {
 	preds := s.findPredecessors(ctx, key)
 	nextOff := s.loadNext(ctx, preds[0], 0)
 	if nextOff == 0 {
-		return nil, false
+		return nil, false, false
 	}
 	n := s.loadNode(ctx, nextOff)
 	if !bytes.Equal(s.nodeKey(ctx, n), key) {
-		return nil, false
+		return nil, false, false
 	}
-	return s.nodeVal(ctx, n), true
+	if n.tomb {
+		return nil, false, true
+	}
+	return s.nodeVal(ctx, n), true, false
 }
 
-// Scan walks entries in key order, newest version first for duplicates.
-func (s *Skiplist) Scan(ctx *platform.MemCtx, fn func(key, val []byte) bool) {
+// Scan walks entries in key order, newest version first for duplicates,
+// tombstones included (fn's tomb argument reports them).
+func (s *Skiplist) Scan(ctx *platform.MemCtx, fn func(key, val []byte, tomb bool) bool) {
 	cur := s.loadNode(ctx, s.head)
 	for {
 		nextOff := s.loadNext(ctx, cur, 0)
@@ -241,7 +284,24 @@ func (s *Skiplist) Scan(ctx *platform.MemCtx, fn func(key, val []byte) bool) {
 			return
 		}
 		cur = s.loadNode(ctx, nextOff)
-		if !fn(s.nodeKey(ctx, cur), s.nodeVal(ctx, cur)) {
+		if !fn(s.nodeKey(ctx, cur), s.nodeVal(ctx, cur), cur.tomb) {
+			return
+		}
+	}
+}
+
+// ScanFrom walks entries with key ≥ start in key order (newest version
+// first for duplicates), tombstones included.
+func (s *Skiplist) ScanFrom(ctx *platform.MemCtx, start []byte, fn func(key, val []byte, tomb bool) bool) {
+	preds := s.findPredecessors(ctx, start)
+	cur := preds[0]
+	for {
+		nextOff := s.loadNext(ctx, cur, 0)
+		if nextOff == 0 {
+			return
+		}
+		cur = s.loadNode(ctx, nextOff)
+		if !fn(s.nodeKey(ctx, cur), s.nodeVal(ctx, cur), cur.tomb) {
 			return
 		}
 	}
@@ -250,10 +310,8 @@ func (s *Skiplist) Scan(ctx *platform.MemCtx, fn func(key, val []byte) bool) {
 // Recover rebuilds the volatile bookkeeping of a persistent skiplist from
 // durable state by walking level 0 (used after a crash).
 func RecoverSkiplist(ctx *platform.MemCtx, ns *platform.Namespace, base, size int64, seed uint64) *Skiplist {
-	s := &Skiplist{
-		ns: ns, base: base, size: size, persistent: true,
-		height: maxHeight, rng: sim.NewRNG(seed), head: base,
-	}
+	s := attachSkiplist(ns, base, size, true, seed)
+	s.height = maxHeight
 	headSize := int64(nodeHeaderSize + maxHeight*8)
 	frontier := headSize
 	cur := s.loadNode(ctx, s.head)
@@ -264,7 +322,7 @@ func RecoverSkiplist(ctx *platform.MemCtx, ns *platform.Namespace, base, size in
 		}
 		cur = s.loadNode(ctx, nextOff)
 		s.count++
-		end := nextOff - base + int64(nodeHeaderSize+cur.height*8+cur.keyLen+cur.valLen)
+		end := nextOff + int64(nodeHeaderSize+cur.height*8+cur.keyLen+cur.valLen)
 		end = (end + 7) &^ 7
 		if end > frontier {
 			frontier = end

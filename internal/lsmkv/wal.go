@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 
 	"optanestudy/internal/platform"
+	"optanestudy/internal/pmem"
 	"optanestudy/internal/sim"
 )
 
@@ -19,8 +20,9 @@ const (
 	// commits a metadata journal transaction, all behind syscall costs.
 	WALPOSIX WALMode = iota
 	// WALFLEX models the FLEX userspace technique: records append
-	// directly with non-temporal stores and a single fence; metadata
-	// updates happen only when the log crosses an allocation unit.
+	// directly through the record persister (non-temporal stores and a
+	// single fence by default); metadata updates happen only when the log
+	// crosses an allocation unit.
 	WALFLEX
 )
 
@@ -42,20 +44,45 @@ const (
 // WAL header layout: [8B head]. Records: [4B len][4B crc][payload].
 const walHeaderSize = 64
 
-// WAL is an append-only persistent log in a namespace region.
+// WAL is an append-only persistent log in a namespace region. Its record
+// stream goes through the rec persister (non-temporal by default — a FLEX
+// append is a sequential stream of fresh bytes) and its small metadata
+// persists through the meta persister (store+clwb).
 type WAL struct {
-	ns   *platform.Namespace
-	base int64
-	size int64
+	reg  pmem.Region
 	mode WALMode
 	head int64 // volatile copy of the durable head
+	rec  *pmem.Persister
+	meta *pmem.Persister
+	// jnl streams the POSIX-mode journal blocks; pinned to NTStream so the
+	// modeled ext4 commit is independent of the record policy.
+	jnl *pmem.Persister
 }
 
-// NewWAL initializes an empty log at [base, base+size).
+// NewWAL initializes an empty log at [base, base+size) with the default
+// record-persist policy.
 func NewWAL(ctx *platform.MemCtx, ns *platform.Namespace, base, size int64, mode WALMode) *WAL {
-	w := &WAL{ns: ns, base: base, size: size, mode: mode}
+	return NewWALPolicy(ctx, ns, base, size, mode, pmem.NTStream)
+}
+
+// NewWALPolicy initializes an empty log whose FLEX record stream persists
+// under the given pmem policy (the WAL-recovery suites re-run under every
+// policy; WAL-POSIX ignores it — its write path is cached stores by
+// construction).
+func NewWALPolicy(ctx *platform.MemCtx, ns *platform.Namespace, base, size int64, mode WALMode, pol pmem.Policy) *WAL {
+	reg, err := pmem.NewRegion(ns, base, size)
+	if err != nil {
+		panic(err)
+	}
+	w := &WAL{
+		reg:  reg,
+		mode: mode,
+		rec:  pmem.NewPersister(pol),
+		meta: pmem.NewPersister(pmem.StoreFlush),
+		jnl:  pmem.NewPersister(pmem.NTStream),
+	}
 	var hdr [8]byte
-	ctx.PersistStore(ns, base, len(hdr), hdr[:])
+	w.meta.Persist(ctx, w.reg, 0, len(hdr), hdr[:])
 	return w
 }
 
@@ -66,10 +93,10 @@ var ErrWALFull = errors.New("lsmkv: WAL full")
 // in the paper's db_bench configuration).
 func (w *WAL) Append(ctx *platform.MemCtx, payload []byte) error {
 	recSize := int64(8 + len(payload))
-	if walHeaderSize+w.head+recSize > w.size {
+	if walHeaderSize+w.head+recSize > w.reg.Size() {
 		return ErrWALFull
 	}
-	off := w.base + walHeaderSize + w.head
+	off := walHeaderSize + w.head
 	rec := make([]byte, recSize)
 	binary.LittleEndian.PutUint32(rec[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(payload))
@@ -79,21 +106,20 @@ func (w *WAL) Append(ctx *platform.MemCtx, payload []byte) error {
 	switch w.mode {
 	case WALPOSIX:
 		ctx.Proc().Sleep(posixWriteCost)
-		ctx.Store(w.ns, off, len(rec), rec)
+		w.reg.Store(ctx, off, len(rec), rec)
 		// fsync: flush the data range, then commit the file-system
 		// journal (two metadata blocks and a commit record).
 		ctx.Proc().Sleep(posixFsyncCost)
-		ctx.CLWB(w.ns, off, len(rec))
-		ctx.SFence()
+		w.meta.Flush(ctx, w.reg, off, len(rec))
+		w.meta.Fence(ctx)
 		w.journalCommit(ctx)
 	case WALFLEX:
-		ctx.NTStore(w.ns, off, len(rec), rec)
-		ctx.SFence()
+		w.rec.Persist(ctx, w.reg, off, len(rec), rec)
 		if (w.head+recSize)/flexAllocUnit != w.head/flexAllocUnit {
 			// Crossed an allocation unit: persist the file size.
 			var sz [8]byte
 			binary.LittleEndian.PutUint64(sz[:], uint64(w.head+recSize))
-			ctx.PersistStore(w.ns, w.base, len(sz), sz[:])
+			w.meta.Persist(ctx, w.reg, 0, len(sz), sz[:])
 		}
 	}
 	w.head += recSize
@@ -101,22 +127,21 @@ func (w *WAL) Append(ctx *platform.MemCtx, payload []byte) error {
 }
 
 // journalCommit models an ext4-style journaled metadata commit: two
-// metadata blocks plus a commit block, each persisted in order.
+// metadata blocks plus a commit record, each persisted in order.
 func (w *WAL) journalCommit(ctx *platform.MemCtx) {
 	// The journal lives in the tail of the WAL region.
-	jbase := w.base + w.size - 4096
+	jbase := w.reg.Size() - 4096
 	for b := 0; b < 2; b++ {
-		ctx.NTStore(w.ns, jbase+int64(b)*256, 256, nil)
+		w.jnl.Write(ctx, w.reg, jbase+int64(b)*256, 256, nil)
 	}
-	ctx.SFence()
-	ctx.NTStore(w.ns, jbase+1024, 64, nil)
-	ctx.SFence()
+	w.jnl.Fence(ctx)
+	w.jnl.Persist(ctx, w.reg, jbase+1024, 64, nil)
 }
 
 // Truncate durably resets the log (after a memtable flush).
 func (w *WAL) Truncate(ctx *platform.MemCtx) {
 	var hdr [8]byte
-	ctx.PersistStore(w.ns, w.base, len(hdr), hdr[:])
+	w.meta.Persist(ctx, w.reg, 0, len(hdr), hdr[:])
 	w.head = 0
 }
 
@@ -125,18 +150,18 @@ func (w *WAL) Bytes() int64 { return w.head }
 
 // Replay iterates the durable records (recovery path, untimed).
 func (w *WAL) Replay(fn func(payload []byte) bool) error {
-	off := w.base + walHeaderSize
-	end := w.base + w.size
+	off := int64(walHeaderSize)
+	end := w.reg.Size()
 	for off+8 <= end {
 		var hdr [8]byte
-		w.ns.ReadDurable(off, hdr[:])
+		w.reg.ReadDurable(off, hdr[:])
 		n := int64(binary.LittleEndian.Uint32(hdr[0:]))
 		crc := binary.LittleEndian.Uint32(hdr[4:])
 		if n == 0 || off+8+n > end {
 			return nil // end of log
 		}
 		payload := make([]byte, n)
-		w.ns.ReadDurable(off+8, payload)
+		w.reg.ReadDurable(off+8, payload)
 		if crc32.ChecksumIEEE(payload) != crc {
 			return nil // torn tail record: stop replay
 		}

@@ -21,6 +21,7 @@ import (
 
 	"optanestudy/internal/mem"
 	"optanestudy/internal/platform"
+	"optanestudy/internal/pmem"
 	"optanestudy/internal/sim"
 	"optanestudy/internal/vfs"
 )
@@ -74,15 +75,20 @@ const entrySize = 64
 // zone is one namespace with its own page allocator.
 type zone struct {
 	ns       *platform.Namespace
+	reg      pmem.Region
 	nextPage int64 // bump frontier, in page units
 	pages    int64
 }
 
-// FS is a mounted novafs.
+// FS is a mounted novafs. Log entries and data pages stream through the
+// non-temporal persister (log-structured appends of fresh bytes); the
+// small log-page headers and chain pointers persist with store+clwb.
 type FS struct {
 	opt   Options
 	zones []*zone
 	files map[string]*File
+	nt    *pmem.Persister
+	meta  *pmem.Persister
 	seq   uint64
 }
 
@@ -95,13 +101,19 @@ func Mount(namespaces []*platform.Namespace, opt Options) (*FS, error) {
 	if opt.EmbedLimit == 0 {
 		opt.EmbedLimit = 1024
 	}
-	fs := &FS{opt: opt, files: make(map[string]*File)}
+	fs := &FS{
+		opt:   opt,
+		files: make(map[string]*File),
+		nt:    pmem.NewPersister(pmem.NTStream),
+		meta:  pmem.NewPersister(pmem.StoreFlush),
+	}
 	for _, ns := range namespaces {
 		if ns.Size < 1<<20 {
 			return nil, errors.New("novafs: namespace too small")
 		}
 		fs.zones = append(fs.zones, &zone{
 			ns:       ns,
+			reg:      pmem.Whole(ns),
 			nextPage: 1, // page 0 is the superblock
 			pages:    ns.Size / mem.Page,
 		})
@@ -171,7 +183,7 @@ func (fs *FS) CreateZone(ctx *platform.MemCtx, name string, zoneIdx int) (*File,
 	}
 	// Zero the log page header (next pointer) durably.
 	var hdr [8]byte
-	ctx.PersistStore(z.ns, logPage, len(hdr), hdr[:])
+	fs.meta.Persist(ctx, z.reg, logPage, len(hdr), hdr[:])
 	fs.files[name] = f
 	return f, nil
 }
@@ -211,20 +223,20 @@ func (f *File) appendEntry(ctx *platform.MemCtx, entry []byte, inline []byte) (i
 			return 0, err
 		}
 		var hdr [8]byte
-		ctx.PersistStore(f.zone.ns, next, len(hdr), hdr[:])
+		f.fs.meta.Persist(ctx, f.zone.reg, next, len(hdr), hdr[:])
 		// Link from the full page and start appending after the header.
 		var ptr [8]byte
 		binary.LittleEndian.PutUint64(ptr[:], uint64(next))
-		ctx.PersistStore(f.zone.ns, f.logPage, len(ptr), ptr[:])
+		f.fs.meta.Persist(ctx, f.zone.reg, f.logPage, len(ptr), ptr[:])
 		f.logPage = next
 		f.logOff = 8
 	}
 	off := f.logPage + f.logOff
-	ctx.NTStore(f.zone.ns, off, len(entry), entry)
+	f.fs.nt.Write(ctx, f.zone.reg, off, len(entry), entry)
 	if len(inline) > 0 {
-		ctx.NTStore(f.zone.ns, off+int64(len(entry)), len(inline), inline)
+		f.fs.nt.Write(ctx, f.zone.reg, off+int64(len(entry)), len(inline), inline)
 	}
-	ctx.SFence()
+	f.fs.nt.Fence(ctx)
 	f.logOff += need
 	return off, nil
 }
@@ -280,7 +292,7 @@ func (f *File) writeCOW(ctx *platform.MemCtx, off int64, data []byte) error {
 		page := make([]byte, mem.Page)
 		f.readPage(ctx, pgoff, page)
 		copy(page[lo:], data[:n])
-		ctx.NTStore(f.zone.ns, newPage, mem.Page, page)
+		f.fs.nt.Write(ctx, f.zone.reg, newPage, mem.Page, page)
 		entry := make([]byte, entrySize)
 		entry[0] = entryWrite
 		binary.LittleEndian.PutUint64(entry[8:], uint64(pgoff))
@@ -350,7 +362,7 @@ func (f *File) ReadAt(ctx *platform.MemCtx, off int64, buf []byte) error {
 // Sync implements vfs.File. NOVA persists at write time, so fsync only
 // fences.
 func (f *File) Sync(ctx *platform.MemCtx) error {
-	ctx.SFence()
+	f.fs.nt.Fence(ctx)
 	return nil
 }
 

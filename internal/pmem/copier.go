@@ -1,0 +1,64 @@
+package pmem
+
+import (
+	"optanestudy/internal/mem"
+	"optanestudy/internal/platform"
+)
+
+// Copier persists bulk buffers (memtable flushes, SST installs, page
+// copies) through a Persister, optionally splitting the transfer into
+// cache-line-aligned chunks. Chunk boundaries always fall on 64 B line
+// boundaries, so a chunked non-temporal stream posts exactly the same
+// per-line sequence as an unchunked one — chunking changes where issue
+// costs are charged only for the cached-store policies, which interleave
+// store and flush passes per chunk.
+type Copier struct {
+	w *Persister
+	// chunk is the per-Write byte bound, rounded down to a line multiple;
+	// 0 means unchunked.
+	chunk int64
+}
+
+// NewCopier makes a copier over w. chunk bounds the bytes per underlying
+// Write call (0 = whole buffer at once).
+func NewCopier(w *Persister, chunk int) *Copier {
+	c := int64(chunk) &^ (mem.CacheLine - 1)
+	return &Copier{w: w, chunk: c}
+}
+
+// Persister returns the copier's policy object.
+func (c *Copier) Persister() *Persister { return c.w }
+
+// Write stages the buffer at off without fencing.
+func (c *Copier) Write(ctx *platform.MemCtx, r Region, off int64, data []byte) {
+	n := int64(len(data))
+	if n == 0 {
+		return
+	}
+	if c.chunk <= 0 || n <= c.chunk {
+		c.w.Write(ctx, r, off, len(data), data)
+		return
+	}
+	end := off + n
+	cur := off
+	for cur < end {
+		// Each chunk ends on a line boundary (the first chunk may be short
+		// when off is unaligned), so per-line write segmentation matches an
+		// unchunked transfer.
+		next := mem.LineAddr(cur) + c.chunk
+		if next <= cur {
+			next = mem.LineAddr(cur) + c.chunk + mem.CacheLine
+		}
+		if next > end {
+			next = end
+		}
+		c.w.Write(ctx, r, cur, int(next-cur), data[cur-off:next-off])
+		cur = next
+	}
+}
+
+// Persist is Write followed by one fence for the whole transfer.
+func (c *Copier) Persist(ctx *platform.MemCtx, r Region, off int64, data []byte) {
+	c.Write(ctx, r, off, data)
+	c.w.Fence(ctx)
+}

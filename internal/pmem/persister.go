@@ -1,0 +1,97 @@
+package pmem
+
+import (
+	"optanestudy/internal/platform"
+)
+
+// Persister is a persistence policy object: it turns "make these bytes
+// durable" into the concrete instruction sequence its Policy selects, and
+// counts what it issued. The split into Write / Flush / Fence mirrors how
+// real persistent software batches work: several writes can share one
+// fence (an undo-log transaction, a skiplist node plus its link), and a
+// file system can stage cached stores long before fsync flushes them.
+//
+// A Persister is owned by one simulated thread at a time (counters are not
+// synchronized; simulated procs run exclusively, so sharing one persister
+// across a stack's procs is safe under the sim's cooperative scheduler).
+type Persister struct {
+	policy Policy
+	// C tallies issued traffic per effective policy.
+	C Counters
+}
+
+// NewPersister returns a persister with the given policy.
+func NewPersister(p Policy) *Persister { return &Persister{policy: p} }
+
+// Policy returns the configured (possibly Auto) policy.
+func (w *Persister) Policy() Policy { return w.policy }
+
+// Effective resolves the policy for one access of size bytes: Auto picks
+// NTStream at or above AutoThreshold and StoreFlush below it.
+func (w *Persister) Effective(size int) Policy {
+	if w.policy != Auto {
+		return w.policy
+	}
+	if size >= AutoThreshold {
+		return NTStream
+	}
+	return StoreFlush
+}
+
+// Write stages size bytes at off toward durability — written and flushed
+// per the policy — without fencing. The bytes are durable only after the
+// next Fence (or Persist) on the same thread.
+func (w *Persister) Write(ctx *platform.MemCtx, r Region, off int64, size int, data []byte) {
+	pol := w.Effective(size)
+	switch pol {
+	case NTStream:
+		r.NTStore(ctx, off, size, data)
+	case StoreFlush:
+		r.Store(ctx, off, size, data)
+		r.CLWB(ctx, off, size)
+	case StoreFlushOpt:
+		r.Store(ctx, off, size, data)
+		r.CLFlushOpt(ctx, off, size)
+	case CLFlush:
+		r.Store(ctx, off, size, data)
+		r.CLFlush(ctx, off, size)
+	}
+	w.C.add(pol, size)
+}
+
+// Flush writes back [off, off+size) with the policy's flush instruction,
+// for bytes previously staged with plain cached stores (the write()-then-
+// fsync() split). Under NTStream it is a no-op: non-temporal data needs no
+// cache flush, only the fence. Auto always resolves to StoreFlush here —
+// the bytes being flushed sit dirty in the cache by precondition, so the
+// size-based NT branch can never apply.
+func (w *Persister) Flush(ctx *platform.MemCtx, r Region, off int64, size int) {
+	pol := w.policy
+	if pol == Auto {
+		pol = StoreFlush
+	}
+	switch pol {
+	case NTStream:
+		return
+	case StoreFlush:
+		r.CLWB(ctx, off, size)
+	case StoreFlushOpt:
+		r.CLFlushOpt(ctx, off, size)
+	case CLFlush:
+		r.CLFlush(ctx, off, size)
+	}
+	w.C.add(pol, size)
+}
+
+// Fence drains the thread's write-combining buffers and waits for every
+// post since the last fence to reach the ADR domain.
+func (w *Persister) Fence(ctx *platform.MemCtx) {
+	ctx.SFence()
+	w.C.Fences++
+}
+
+// Persist is Write followed by Fence: the bytes are durable on return.
+func (w *Persister) Persist(ctx *platform.MemCtx, r Region, off int64, size int, data []byte) {
+	w.Write(ctx, r, off, size, data)
+	w.Fence(ctx)
+}

@@ -1,0 +1,136 @@
+package pmem
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"optanestudy/internal/harness"
+	"optanestudy/internal/platform"
+	"optanestudy/internal/sim"
+)
+
+// Harness scenarios: the pmem/policy family sweeps persist policy × access
+// size × media. Each trial runs the transaction-shaped persist loop —
+// `batch` record writes through one Persister followed by a single fence,
+// over a cache-resident region that is pre-warmed once (the paper warms
+// lines before its store+clwb measurements, lattester.IdleLatency does the
+// same) — for every access size on the grid, and reports per-size latency
+// and bandwidth plus the persister's per-policy op/byte counters.
+//
+// The shape this family pins (scenarios_test.go) is the paper's
+// small-store guidance: store+clwb wins below the 256 B XPLine
+// granularity, non-temporal streams win at and above it, and clflush is
+// worst throughout.
+func init() {
+	for _, pol := range Policies() {
+		pol := pol
+		harness.Register(harness.Scenario{
+			Name: "pmem/policy/" + pol.String(),
+			Doc:  fmt.Sprintf("persist latency/bandwidth across access sizes under the %s policy", pol),
+			Defaults: harness.Defaults{
+				Threads: 1, Ops: 400, Seed: 41,
+				Params: map[string]string{"policy": pol.String()},
+			},
+			Run: runPolicyScenario,
+		})
+	}
+}
+
+func runPolicyScenario(spec harness.Spec) (harness.Trial, error) {
+	r := harness.NewParamReader(spec.Params)
+	polName := r.Str("policy", "auto")
+	media := r.Str("media", "optane")
+	sizesCSV := r.Str("sizes", "64,128,256,512,1024,2048,4096")
+	batch := r.Int("batch", 4)
+	regionBytes := r.Int64("region", 256<<10)
+	warm := r.Bool("warm", true)
+	if err := r.Err(); err != nil {
+		return harness.Trial{}, err
+	}
+	pol, err := ParsePolicy(polName)
+	if err != nil {
+		return harness.Trial{}, err
+	}
+	var sizes []int
+	for _, s := range strings.Split(sizesCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return harness.Trial{}, fmt.Errorf("param sizes=%q: want comma-separated positive ints", sizesCSV)
+		}
+		sizes = append(sizes, n)
+	}
+	if batch < 1 || regionBytes < 4096 {
+		return harness.Trial{}, fmt.Errorf("pmem: bad batch (%d) or region (%d)", batch, regionBytes)
+	}
+	for _, s := range sizes {
+		if int64(s) > regionBytes {
+			return harness.Trial{}, fmt.Errorf("pmem: access size %d exceeds region %d", s, regionBytes)
+		}
+	}
+
+	cfg := platform.DefaultConfig()
+	cfg.XP.Wear.Enabled = false
+	p := platform.MustNew(cfg)
+	defer p.Close()
+	total := regionBytes * int64(len(sizes))
+	var ns *platform.Namespace
+	switch media {
+	case "optane":
+		ns, err = p.Optane("policy", 0, total)
+	case "optane-ni":
+		ns, err = p.OptaneNI("policy", 0, 0, total)
+	case "dram":
+		ns, err = p.DRAM("policy", 0, total)
+	default:
+		return harness.Trial{}, fmt.Errorf("unknown media %q (want optane, optane-ni or dram)", media)
+	}
+	if err != nil {
+		return harness.Trial{}, err
+	}
+
+	tr := harness.Trial{Metrics: make(map[string]float64)}
+	var counters Counters
+	whole := Whole(ns)
+	for i, size := range sizes {
+		reg, err := whole.Sub(int64(i)*regionBytes, regionBytes)
+		if err != nil {
+			return harness.Trial{}, err
+		}
+		pers := NewPersister(pol)
+		var window sim.Time
+		// One fresh proc per size: each grid point starts from a clean
+		// thread state (WPQ windows, load pipeline).
+		p.Go(fmt.Sprintf("policy-%d", size), spec.Socket, func(ctx *platform.MemCtx) {
+			if warm {
+				for off := int64(0); off < reg.Size(); off += 64 {
+					reg.Load(ctx, off, 8)
+				}
+			}
+			var off int64
+			start := ctx.Proc().Now()
+			for op := 0; op < spec.Ops; op++ {
+				for j := 0; j < batch; j++ {
+					if off+int64(size) > reg.Size() {
+						off = 0
+					}
+					pers.Write(ctx, reg, off, size, nil)
+					off += int64(size)
+				}
+				pers.Fence(ctx)
+			}
+			window = ctx.Proc().Now() - start
+		})
+		p.Run()
+		records := int64(spec.Ops) * int64(batch)
+		bytes := records * int64(size)
+		tr.Ops += records
+		tr.Bytes += bytes
+		tr.Sim += window
+		tr.Metrics[fmt.Sprintf("ns@%d", size)] = window.Nanoseconds() / float64(records)
+		tr.Metrics[fmt.Sprintf("gbs@%d", size)] = float64(bytes) / window.Seconds() / 1e9
+		counters.Merge(&pers.C)
+	}
+	counters.Metrics(tr.Metrics)
+	return tr, nil
+}

@@ -1,0 +1,83 @@
+package pmem
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"optanestudy/internal/harness"
+)
+
+// policyCurve runs one pmem/policy scenario and returns ns/record per size.
+func policyCurve(t *testing.T, policy string, sizes []int) map[int]float64 {
+	t.Helper()
+	csv := ""
+	for i, s := range sizes {
+		if i > 0 {
+			csv += ","
+		}
+		csv += fmt.Sprint(s)
+	}
+	res, err := harness.Run(harness.Spec{
+		Scenario: "pmem/policy/" + policy,
+		Params:   map[string]string{"sizes": csv},
+		Ops:      200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[int]float64, len(sizes))
+	for _, s := range sizes {
+		v, ok := res.Trials[0].Metrics[fmt.Sprintf("ns@%d", s)]
+		if !ok || v <= 0 {
+			t.Fatalf("%s: missing ns@%d metric", policy, s)
+		}
+		out[s] = v
+	}
+	return out
+}
+
+// TestPolicyCrossoverShape pins the paper's small-store guidance in the
+// pmem/policy family: store+clwb wins below the 256 B XPLine granularity,
+// non-temporal streams win at and above it, and clflush is worst at every
+// size (Sections 2.1, 5.1 and 5.2).
+func TestPolicyCrossoverShape(t *testing.T) {
+	sizes := []int{64, 128, 256, 512, 1024, 4096}
+	nt := policyCurve(t, "nt", sizes)
+	sf := policyCurve(t, "store-flush", sizes)
+	cf := policyCurve(t, "clflush", sizes)
+	for _, s := range sizes {
+		if s < AutoThreshold {
+			if sf[s] >= nt[s] {
+				t.Errorf("%d B: store+clwb (%.1f ns) must beat ntstore (%.1f ns) below the XPLine", s, sf[s], nt[s])
+			}
+		} else {
+			if nt[s] >= sf[s] {
+				t.Errorf("%d B: ntstore (%.1f ns) must beat store+clwb (%.1f ns) at/above the XPLine", s, nt[s], sf[s])
+			}
+		}
+		if cf[s] <= nt[s] || cf[s] <= sf[s] {
+			t.Errorf("%d B: clflush (%.1f ns) must be worst (nt %.1f, store+clwb %.1f)", s, cf[s], nt[s], sf[s])
+		}
+	}
+}
+
+// TestAutoTracksWinner: the Auto policy must reproduce the winning
+// concrete policy exactly at every size — the measured loop is RNG-free,
+// so the envelope match is exact, not approximate.
+func TestAutoTracksWinner(t *testing.T) {
+	sizes := []int{64, 128, 256, 1024, 4096}
+	nt := policyCurve(t, "nt", sizes)
+	sf := policyCurve(t, "store-flush", sizes)
+	auto := policyCurve(t, "auto", sizes)
+	for _, s := range sizes {
+		want := nt[s]
+		if s < AutoThreshold {
+			want = sf[s]
+		}
+		if math.Abs(auto[s]-want) > 1e-9 {
+			t.Errorf("%d B: auto = %.3f ns, want %.3f (the %s branch)", s, auto[s], want,
+				map[bool]string{true: "store-flush", false: "nt"}[s < AutoThreshold])
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"optanestudy/internal/platform"
+	"optanestudy/internal/pmem"
 	"optanestudy/internal/pmemobj"
 	"optanestudy/internal/sim"
 )
@@ -22,9 +23,14 @@ import (
 // Entry layout: [8B next][8B hash][4B keyLen][4B valLen][key][val].
 const entryHeader = 24
 
-// CMap is the concurrent hash map engine.
+// CMap is the concurrent hash map engine. Entry bodies stream with the
+// non-temporal policy (fresh allocations, fully overwritten); the 8-byte
+// link swaps go through the store+clwb policy (small, cache-hot pointers).
 type CMap struct {
 	pool     *pmemobj.Pool
+	reg      pmem.Region
+	entry    *pmem.Persister
+	link     *pmem.Persister
 	tableOff int64
 	buckets  int64
 	locks    []sim.Mutex
@@ -47,9 +53,10 @@ func CreateCMap(ctx *platform.MemCtx, pool *pmemobj.Pool, buckets int) (*CMap, e
 	hdr := make([]byte, tableSize)
 	binary.LittleEndian.PutUint32(hdr[0:], cmapMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(buckets))
-	ctx.PersistNT(pool.NS(), off, len(hdr), hdr)
+	m := attach(pool, off, int64(buckets))
+	m.entry.Persist(ctx, m.reg, off, len(hdr), hdr)
 	pool.SetRoot(ctx, off)
-	return attach(pool, off, int64(buckets)), nil
+	return m, nil
 }
 
 // OpenCMap attaches to the cmap previously installed as the pool root.
@@ -59,7 +66,7 @@ func OpenCMap(ctx *platform.MemCtx, pool *pmemobj.Pool) (*CMap, error) {
 		return nil, errors.New("pmemkv: pool has no root object")
 	}
 	var hdr [8]byte
-	ctx.LoadInto(pool.NS(), off, hdr[:])
+	pool.Region().LoadInto(ctx, off, hdr[:])
 	if binary.LittleEndian.Uint32(hdr[0:]) != cmapMagic {
 		return nil, fmt.Errorf("pmemkv: root object is not a cmap")
 	}
@@ -72,7 +79,13 @@ func attach(pool *pmemobj.Pool, off, buckets int64) *CMap {
 	if int64(nlocks) > buckets {
 		nlocks = int(buckets)
 	}
-	return &CMap{pool: pool, tableOff: off, buckets: buckets, locks: make([]sim.Mutex, nlocks)}
+	return &CMap{
+		pool:     pool,
+		reg:      pool.Region(),
+		entry:    pmem.NewPersister(pmem.NTStream),
+		link:     pmem.NewPersister(pmem.StoreFlush),
+		tableOff: off, buckets: buckets, locks: make([]sim.Mutex, nlocks),
+	}
 }
 
 func hashKey(key []byte) uint64 {
@@ -94,14 +107,14 @@ func (m *CMap) lockFor(h uint64) *sim.Mutex {
 
 func (m *CMap) readPtr(ctx *platform.MemCtx, off int64) int64 {
 	var buf [8]byte
-	ctx.LoadInto(m.pool.NS(), off, buf[:])
+	m.reg.LoadInto(ctx, off, buf[:])
 	return int64(binary.LittleEndian.Uint64(buf[:]))
 }
 
 func (m *CMap) writePtr(ctx *platform.MemCtx, off, val int64) {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], uint64(val))
-	ctx.PersistStore(m.pool.NS(), off, len(buf), buf[:])
+	m.link.Persist(ctx, m.reg, off, len(buf), buf[:])
 }
 
 type entryMeta struct {
@@ -113,7 +126,7 @@ type entryMeta struct {
 
 func (m *CMap) readMeta(ctx *platform.MemCtx, off int64) entryMeta {
 	var hdr [entryHeader]byte
-	ctx.LoadInto(m.pool.NS(), off, hdr[:])
+	m.reg.LoadInto(ctx, off, hdr[:])
 	return entryMeta{
 		off:    off,
 		next:   int64(binary.LittleEndian.Uint64(hdr[0:])),
@@ -133,7 +146,7 @@ func (m *CMap) find(ctx *platform.MemCtx, key []byte) (entryMeta, int64, bool) {
 		meta := m.readMeta(ctx, cur)
 		if meta.hash == h && meta.keyLen == len(key) {
 			k := make([]byte, meta.keyLen)
-			ctx.LoadInto(m.pool.NS(), cur+entryHeader, k)
+			m.reg.LoadInto(ctx, cur+entryHeader, k)
 			if bytes.Equal(k, key) {
 				return meta, ptrOff, true
 			}
@@ -154,7 +167,7 @@ func (m *CMap) Get(ctx *platform.MemCtx, key []byte) ([]byte, bool) {
 		return nil, false
 	}
 	val := make([]byte, meta.vLen)
-	ctx.LoadInto(m.pool.NS(), meta.off+entryHeader+int64(meta.keyLen), val)
+	m.reg.LoadInto(ctx, meta.off+entryHeader+int64(meta.keyLen), val)
 	return val, true
 }
 
@@ -195,7 +208,7 @@ func (m *CMap) Put(ctx *platform.MemCtx, key, val []byte) error {
 	binary.LittleEndian.PutUint32(buf[20:], uint32(len(val)))
 	copy(buf[entryHeader:], key)
 	copy(buf[entryHeader+len(key):], val)
-	ctx.PersistNT(m.pool.NS(), newOff, len(buf), buf)
+	m.entry.Persist(ctx, m.reg, newOff, len(buf), buf)
 	if ok {
 		m.writePtr(ctx, ptrOff, newOff) // atomic swap unlinks the old entry
 		m.pool.Free(ctx, meta.off)

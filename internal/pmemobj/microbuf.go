@@ -2,14 +2,17 @@ package pmemobj
 
 import (
 	"optanestudy/internal/platform"
+	"optanestudy/internal/pmem"
 )
 
 // MicroBuf implements the "micro-buffering" technique (Section 5.2.1,
 // after Pangolin): a transaction copies the persistent object into a DRAM
 // buffer, the application mutates the buffer freely, and commit writes the
-// whole object back — with either non-temporal stores (PGL-NT) or cached
-// stores plus clwb (PGL-CLWB). The paper's Figure 15 finds the crossover
-// between the two near 1 KB.
+// whole object back under a pmem persist policy — non-temporal stores
+// (PGL-NT), cached stores plus clwb (PGL-CLWB), or any other
+// pmem.Policy via CommitPolicy, including Auto, which picks per the
+// paper's 256 B guidance. The paper's Figure 15 finds the NT/CLWB
+// crossover near 1 KB for this (cold-object) workload.
 type MicroBuf struct {
 	pool *Pool
 	ctx  *platform.MemCtx
@@ -17,7 +20,8 @@ type MicroBuf struct {
 	buf  []byte
 }
 
-// WriteBackMode selects the commit instruction sequence.
+// WriteBackMode selects the commit instruction sequence (the paper's two
+// named modes; CommitPolicy accepts the full policy set).
 type WriteBackMode int
 
 // Commit modes.
@@ -35,15 +39,23 @@ func (m WriteBackMode) String() string {
 	return "PGL-CLWB"
 }
 
+// Policy maps the named mode onto the pmem policy it denotes.
+func (m WriteBackMode) Policy() pmem.Policy {
+	if m == NT {
+		return pmem.NTStream
+	}
+	return pmem.StoreFlush
+}
+
 // OpenBuffered starts a micro-buffered transaction on the object at off:
 // it reads the object into a volatile buffer and returns the handle.
 func (p *Pool) OpenBuffered(ctx *platform.MemCtx, off int64, size int) *MicroBuf {
 	mb := &MicroBuf{pool: p, ctx: ctx, off: off, buf: make([]byte, size)}
 	// Bulk copy into DRAM: pipelined loads, then an untimed coherent copy
 	// (the loads above already charged the transfer).
-	ctx.LoadStream(p.ns, off, size)
+	p.reg.LoadStream(ctx, off, size)
 	ctx.DrainLoads()
-	ctx.Peek(p.ns, off, mb.buf)
+	p.reg.Peek(ctx, off, mb.buf)
 	return mb
 }
 
@@ -53,20 +65,20 @@ func (mb *MicroBuf) Bytes() []byte { return mb.buf }
 // Commit logs the object's old value (for atomicity) and writes the buffer
 // back with the chosen mode, fencing once.
 func (mb *MicroBuf) Commit(mode WriteBackMode) error {
+	return mb.CommitPolicy(mode.Policy())
+}
+
+// CommitPolicy commits under an arbitrary pmem persist policy.
+func (mb *MicroBuf) CommitPolicy(pol pmem.Policy) error {
 	tx := mb.pool.Begin(mb.ctx)
 	if err := tx.logEntry(mb.off, len(mb.buf)); err != nil {
 		return err
 	}
-	switch mode {
-	case NT:
-		mb.ctx.NTStore(mb.pool.ns, mb.off, len(mb.buf), mb.buf)
-	case CLWB:
-		mb.ctx.Store(mb.pool.ns, mb.off, len(mb.buf), mb.buf)
-		mb.ctx.CLWB(mb.pool.ns, mb.off, len(mb.buf))
-	}
+	w := pmem.NewPersister(pol)
+	w.Write(mb.ctx, mb.pool.reg, mb.off, len(mb.buf), mb.buf)
 	tx.done = true
-	mb.ctx.SFence()
+	w.Fence(mb.ctx)
 	var zero [8]byte
-	mb.ctx.PersistStore(mb.pool.ns, logOffset, len(zero), zero[:])
+	mb.pool.meta.Persist(mb.ctx, mb.pool.reg, logOffset, len(zero), zero[:])
 	return nil
 }

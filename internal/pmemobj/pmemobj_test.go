@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"optanestudy/internal/platform"
+	"optanestudy/internal/pmem"
 	"optanestudy/internal/sim"
 )
 
@@ -185,60 +186,120 @@ func TestTxAbortRestores(t *testing.T) {
 	})
 }
 
-// TestTxCrashAtomicity crashes the platform at every protocol stage and
-// checks that recovery always yields either the old or the new value —
-// never a torn mix.
+// TestTxCrashAtomicity crashes the platform at every protocol stage —
+// under every pmem persist policy for the in-place modifications — and
+// checks that recovery always yields either the old or the new value,
+// never a torn mix. Crash atomicity must not depend on the instruction
+// sequence the data writes use.
 func TestTxCrashAtomicity(t *testing.T) {
 	stages := []string{"entry-logged", "count-bumped", "modified", "pre-truncate", "committed"}
-	for _, crashAt := range stages {
-		crashAt := crashAt
-		t.Run(crashAt, func(t *testing.T) {
-			p, pool := newPool(t)
-			oldVal := bytes.Repeat([]byte{0xAA}, 120)
-			newVal := bytes.Repeat([]byte{0xBB}, 120)
-			var obj int64
-			run(p, func(ctx *platform.MemCtx) {
-				obj, _ = pool.Alloc(ctx, 128)
-				ctx.PersistStore(pool.NS(), obj, len(oldVal), oldVal)
-			})
-			type crashSignal struct{}
-			run(p, func(ctx *platform.MemCtx) {
-				defer func() {
-					if r := recover(); r != nil {
-						if _, ok := r.(crashSignal); !ok {
-							panic(r)
+	for _, pol := range pmem.Policies() {
+		pol := pol
+		for _, crashAt := range stages {
+			crashAt := crashAt
+			t.Run(pol.String()+"/"+crashAt, func(t *testing.T) {
+				p, pool := newPool(t)
+				oldVal := bytes.Repeat([]byte{0xAA}, 120)
+				newVal := bytes.Repeat([]byte{0xBB}, 120)
+				var obj int64
+				run(p, func(ctx *platform.MemCtx) {
+					obj, _ = pool.Alloc(ctx, 128)
+					ctx.PersistStore(pool.NS(), obj, len(oldVal), oldVal)
+				})
+				type crashSignal struct{}
+				run(p, func(ctx *platform.MemCtx) {
+					defer func() {
+						if r := recover(); r != nil {
+							if _, ok := r.(crashSignal); !ok {
+								panic(r)
+							}
+						}
+					}()
+					tx := pool.BeginPolicy(ctx, pol)
+					tx.OnCrash = func(stage string) {
+						if stage == crashAt {
+							panic(crashSignal{})
 						}
 					}
-				}()
-				tx := pool.Begin(ctx)
-				tx.OnCrash = func(stage string) {
-					if stage == crashAt {
-						panic(crashSignal{})
-					}
+					tx.Update(obj, newVal)
+					tx.Commit()
+				})
+				p.Crash()
+				re, err := Open(pool.NS())
+				if err != nil {
+					t.Fatal(err)
 				}
-				tx.Update(obj, newVal)
-				tx.Commit()
+				_ = re
+				got := make([]byte, len(oldVal))
+				pool.NS().ReadDurable(obj, got)
+				isOld := bytes.Equal(got, oldVal)
+				isNew := bytes.Equal(got, newVal)
+				if !isOld && !isNew {
+					t.Fatalf("torn object after crash at %q: %v", crashAt, got[:8])
+				}
+				if crashAt == "committed" && !isNew {
+					t.Fatal("committed transaction rolled back")
+				}
+				if (crashAt == "entry-logged" || crashAt == "count-bumped") && !isOld {
+					t.Fatal("uncommitted transaction left new data")
+				}
 			})
-			p.Crash()
-			re, err := Open(pool.NS())
-			if err != nil {
+		}
+	}
+}
+
+// TestTxPolicyEquivalentContents: a committed transaction leaves identical
+// durable bytes no matter which persist policy carried its modifications.
+func TestTxPolicyEquivalentContents(t *testing.T) {
+	want := bytes.Repeat([]byte{0xC7, 0x11}, 90)
+	for _, pol := range pmem.Policies() {
+		p, pool := newPool(t)
+		var obj int64
+		run(p, func(ctx *platform.MemCtx) {
+			obj, _ = pool.Alloc(ctx, 256)
+			tx := pool.BeginPolicy(ctx, pol)
+			if err := tx.Update(obj, want); err != nil {
 				t.Fatal(err)
 			}
-			_ = re
-			got := make([]byte, len(oldVal))
-			pool.NS().ReadDurable(obj, got)
-			isOld := bytes.Equal(got, oldVal)
-			isNew := bytes.Equal(got, newVal)
-			if !isOld && !isNew {
-				t.Fatalf("torn object after crash at %q: %v", crashAt, got[:8])
-			}
-			if crashAt == "committed" && !isNew {
-				t.Fatal("committed transaction rolled back")
-			}
-			if (crashAt == "entry-logged" || crashAt == "count-bumped") && !isOld {
-				t.Fatal("uncommitted transaction left new data")
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
 			}
 		})
+		p.Crash()
+		got := make([]byte, len(want))
+		pool.NS().ReadDurable(obj, got)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: committed bytes differ", pol)
+		}
+	}
+}
+
+// TestMicroBufCommitPolicies: every policy-committed micro-buffer leaves
+// the same durable object.
+func TestMicroBufCommitPolicies(t *testing.T) {
+	for _, pol := range pmem.Policies() {
+		p, pool := newPool(t)
+		var obj int64
+		run(p, func(ctx *platform.MemCtx) {
+			obj, _ = pool.Alloc(ctx, 512)
+			init := bytes.Repeat([]byte{3}, 512)
+			ctx.PersistStore(pool.NS(), obj, len(init), init)
+			mb := pool.OpenBuffered(ctx, obj, 512)
+			for i := range mb.Bytes() {
+				mb.Bytes()[i] = byte(i)
+			}
+			if err := mb.CommitPolicy(pol); err != nil {
+				t.Fatal(err)
+			}
+		})
+		p.Crash()
+		got := make([]byte, 512)
+		pool.NS().ReadDurable(obj, got)
+		for i, b := range got {
+			if b != byte(i) {
+				t.Fatalf("%s: byte %d = %d after commit", pol, i, b)
+			}
+		}
 	}
 }
 

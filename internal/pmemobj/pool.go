@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"optanestudy/internal/platform"
+	"optanestudy/internal/pmem"
 )
 
 // Pool layout (offsets in bytes):
@@ -37,11 +38,28 @@ const (
 // ErrCorrupt reports an unrecognized pool image.
 var ErrCorrupt = errors.New("pmemobj: pool image corrupt")
 
-// Pool is a persistent heap inside a namespace.
+// Pool is a persistent heap inside a namespace. Its persistence traffic
+// goes through two pmem.Persister policies: meta (store+clwb — the small,
+// cache-hot header/count/root updates) and log (non-temporal — the undo
+// log's sequential entry stream), per the paper's instruction guidance.
 type Pool struct {
 	ns   *platform.Namespace
+	reg  pmem.Region
+	meta *pmem.Persister
+	log  *pmem.Persister
 	free map[int64]int64 // volatile free index: offset -> size
 	head int64           // bump frontier
+}
+
+func attachPool(ns *platform.Namespace) *Pool {
+	return &Pool{
+		ns:   ns,
+		reg:  pmem.Whole(ns),
+		meta: pmem.NewPersister(pmem.StoreFlush),
+		log:  pmem.NewPersister(pmem.NTStream),
+		free: make(map[int64]int64),
+		head: heapOffset,
+	}
 }
 
 // Create formats a namespace as an empty pool. Formatting uses durable
@@ -57,8 +75,7 @@ func Create(ns *platform.Namespace) (*Pool, error) {
 	ns.WriteDurable(0, hdr[:])
 	var zero [8]byte
 	ns.WriteDurable(logOffset, zero[:]) // empty undo log
-	p := &Pool{ns: ns, free: make(map[int64]int64), head: heapOffset}
-	return p, nil
+	return attachPool(ns), nil
 }
 
 // Open attaches to an existing pool, running recovery: an interrupted
@@ -70,7 +87,7 @@ func Open(ns *platform.Namespace) (*Pool, error) {
 	if binary.LittleEndian.Uint64(hdr[0:]) != poolMagic {
 		return nil, ErrCorrupt
 	}
-	p := &Pool{ns: ns, free: make(map[int64]int64), head: heapOffset}
+	p := attachPool(ns)
 	p.recoverLog()
 	if err := p.rebuildHeap(); err != nil {
 		return nil, err
@@ -81,10 +98,14 @@ func Open(ns *platform.Namespace) (*Pool, error) {
 // NS returns the backing namespace.
 func (p *Pool) NS() *platform.Namespace { return p.ns }
 
+// Region returns the pool's bounds-checked window (the whole namespace);
+// stacks built on the pool do their own IO through it.
+func (p *Pool) Region() pmem.Region { return p.reg }
+
 // Root returns the root object offset (0 = unset).
 func (p *Pool) Root(ctx *platform.MemCtx) int64 {
 	var buf [8]byte
-	ctx.LoadInto(p.ns, headerRoot, buf[:])
+	p.reg.LoadInto(ctx, headerRoot, buf[:])
 	return int64(binary.LittleEndian.Uint64(buf[:]))
 }
 
@@ -92,7 +113,7 @@ func (p *Pool) Root(ctx *platform.MemCtx) int64 {
 func (p *Pool) SetRoot(ctx *platform.MemCtx, off int64) {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], uint64(off))
-	ctx.PersistStore(p.ns, headerRoot, len(buf), buf[:])
+	p.meta.Persist(ctx, p.reg, headerRoot, len(buf), buf[:])
 }
 
 // align rounds a user size up to a multiple of 16 bytes.
@@ -146,7 +167,7 @@ func (p *Pool) writeHeader(ctx *platform.MemCtx, off, size int64, state uint16) 
 	var hdr [blockHeader]byte
 	binary.LittleEndian.PutUint64(hdr[0:], uint64(size))
 	binary.LittleEndian.PutUint16(hdr[8:], state)
-	ctx.PersistStore(p.ns, off, len(hdr), hdr[:])
+	p.meta.Persist(ctx, p.reg, off, len(hdr), hdr[:])
 }
 
 func (p *Pool) readHeaderDurable(off int64) (size int64, state uint16) {

@@ -5,6 +5,7 @@ import (
 	"errors"
 
 	"optanestudy/internal/platform"
+	"optanestudy/internal/pmem"
 )
 
 // Undo-log transaction protocol (libpmemobj-style):
@@ -12,7 +13,8 @@ import (
 //  1. Before a range is modified, its old contents are appended to the
 //     pool's log and persisted; then the entry count is bumped and
 //     persisted (entries beyond the persisted count are garbage).
-//  2. Modifications are applied in place with store+clwb.
+//  2. Modifications are applied in place through the transaction's data
+//     persister (store+clwb by default; any pmem.Policy via BeginPolicy).
 //  3. Commit persists all modifications, then zeroes the entry count.
 //  4. Recovery (pool Open) applies valid undo entries newest-first and
 //     zeroes the count, restoring pre-transaction state.
@@ -22,6 +24,7 @@ import (
 type Tx struct {
 	pool *Pool
 	ctx  *platform.MemCtx
+	data *pmem.Persister // in-place modification policy
 
 	logTail int64 // next free byte in the log area
 	count   int64
@@ -37,10 +40,19 @@ type Tx struct {
 // ErrTxDone reports use of a finished transaction.
 var ErrTxDone = errors.New("pmemobj: transaction already finished")
 
-// Begin opens a transaction. One transaction at a time per pool (the log
-// area is single-streamed, like a PMDK pool per-thread lane).
+// Begin opens a transaction with the default store+clwb modification
+// policy — the paper's pick for small in-place updates of cache-resident
+// data. One transaction at a time per pool (the log area is
+// single-streamed, like a PMDK pool per-thread lane).
 func (p *Pool) Begin(ctx *platform.MemCtx) *Tx {
-	return &Tx{pool: p, ctx: ctx, logTail: logOffset + 8}
+	return p.BeginPolicy(ctx, pmem.StoreFlush)
+}
+
+// BeginPolicy opens a transaction whose in-place modifications persist
+// under the given policy. Crash atomicity holds for every policy (the undo
+// log, not the modification sequence, carries it).
+func (p *Pool) BeginPolicy(ctx *platform.MemCtx, pol pmem.Policy) *Tx {
+	return &Tx{pool: p, ctx: ctx, data: pmem.NewPersister(pol), logTail: logOffset + 8}
 }
 
 func (t *Tx) crashPoint(stage string) {
@@ -56,21 +68,22 @@ func (t *Tx) logEntry(off int64, n int) error {
 		return errors.New("pmemobj: transaction log full")
 	}
 	old := make([]byte, n)
-	t.ctx.LoadInto(t.pool.ns, off, old)
+	p := t.pool
+	p.reg.LoadInto(t.ctx, off, old)
 
 	var hdr [16]byte
 	binary.LittleEndian.PutUint64(hdr[0:], uint64(off))
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(n))
-	t.ctx.NTStore(t.pool.ns, t.logTail, len(hdr), hdr[:])
-	t.ctx.NTStore(t.pool.ns, t.logTail+16, len(old), old)
-	t.ctx.SFence()
+	p.log.Write(t.ctx, p.reg, t.logTail, len(hdr), hdr[:])
+	p.log.Write(t.ctx, p.reg, t.logTail+16, len(old), old)
+	p.log.Fence(t.ctx)
 	t.crashPoint("entry-logged")
 
 	t.logTail += need
 	t.count++
 	var cnt [8]byte
 	binary.LittleEndian.PutUint64(cnt[:], uint64(t.count))
-	t.ctx.PersistStore(t.pool.ns, logOffset, len(cnt), cnt[:])
+	p.meta.Persist(t.ctx, p.reg, logOffset, len(cnt), cnt[:])
 	t.crashPoint("count-bumped")
 	return nil
 }
@@ -83,8 +96,7 @@ func (t *Tx) Update(off int64, data []byte) error {
 	if err := t.logEntry(off, len(data)); err != nil {
 		return err
 	}
-	t.ctx.Store(t.pool.ns, off, len(data), data)
-	t.ctx.CLWB(t.pool.ns, off, len(data))
+	t.data.Write(t.ctx, t.pool.reg, off, len(data), data)
 	t.crashPoint("modified")
 	if !t.anyMods || off < t.modMin {
 		t.modMin = off
@@ -124,11 +136,12 @@ func (t *Tx) Commit() error {
 		return ErrTxDone
 	}
 	t.done = true
-	// Updates were flushed as they were made; one fence settles them all.
-	t.ctx.SFence()
+	// Updates were staged and flushed as they were made; one fence settles
+	// them all.
+	t.data.Fence(t.ctx)
 	t.crashPoint("pre-truncate")
 	var zero [8]byte
-	t.ctx.PersistStore(t.pool.ns, logOffset, len(zero), zero[:])
+	t.pool.meta.Persist(t.ctx, t.pool.reg, logOffset, len(zero), zero[:])
 	t.crashPoint("committed")
 	for _, payload := range t.frees {
 		t.pool.Free(t.ctx, payload)
@@ -151,20 +164,20 @@ func (t *Tx) Abort() error {
 	var entries []entry
 	for i := int64(0); i < t.count; i++ {
 		var hdr [16]byte
-		t.ctx.LoadInto(t.pool.ns, off, hdr[:])
+		t.pool.reg.LoadInto(t.ctx, off, hdr[:])
 		target := int64(binary.LittleEndian.Uint64(hdr[0:]))
 		n := int64(binary.LittleEndian.Uint64(hdr[8:]))
 		old := make([]byte, n)
-		t.ctx.LoadInto(t.pool.ns, off+16, old)
+		t.pool.reg.LoadInto(t.ctx, off+16, old)
 		entries = append(entries, entry{target, old})
 		off += 16 + align(int(n))
 	}
 	for i := len(entries) - 1; i >= 0; i-- {
 		e := entries[i]
-		t.ctx.PersistStore(t.pool.ns, e.target, len(e.data), e.data)
+		t.pool.meta.Persist(t.ctx, t.pool.reg, e.target, len(e.data), e.data)
 	}
 	var zero [8]byte
-	t.ctx.PersistStore(t.pool.ns, logOffset, len(zero), zero[:])
+	t.pool.meta.Persist(t.ctx, t.pool.reg, logOffset, len(zero), zero[:])
 	for _, payload := range t.allocs {
 		t.pool.Free(t.ctx, payload)
 	}

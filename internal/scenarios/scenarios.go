@@ -1,7 +1,7 @@
 // Package scenarios links every scenario-providing package into a binary:
 // blank-importing it populates the harness registry with the lattester,
-// fio, lsmkv, pmemkv, service and figures scenarios. The cmd/* CLIs and
-// the top-level benchmarks import it so they all see one identical
+// fio, lsmkv, pmem, pmemkv, service and figures scenarios. The cmd/* CLIs
+// and the top-level benchmarks import it so they all see one identical
 // registry.
 package scenarios
 
@@ -10,6 +10,7 @@ import (
 	_ "optanestudy/internal/fio"
 	_ "optanestudy/internal/lattester"
 	_ "optanestudy/internal/lsmkv"
+	_ "optanestudy/internal/pmem"
 	_ "optanestudy/internal/pmemkv"
 	_ "optanestudy/internal/service"
 )

@@ -5,12 +5,14 @@ import (
 	"fmt"
 
 	"optanestudy/internal/platform"
+	"optanestudy/internal/pmem"
 )
 
 // AppendLog is a set of per-worker durable append logs: write-behind
 // logging, where a PUT is made durable by appending the record to the
-// serving thread's private log (one sequential non-temporal stream per
-// worker) and the index apply is deferred off the latency path.
+// serving thread's private log (one pmem.Appender per worker — one
+// sequential non-temporal stream each) and the index apply is deferred off
+// the latency path.
 //
 // This is the serving-system shape of the paper's threads-per-DIMM best
 // practice: W workers journaling onto the same DIMM are exactly W
@@ -20,9 +22,8 @@ import (
 // with fewer workers (Section 5.3; Figure 4's non-interleaved write
 // peak).
 type AppendLog struct {
-	ns     *platform.Namespace
 	region int64 // bytes per worker
-	heads  []int64
+	logs   []*pmem.Appender
 }
 
 // NewAppendLog carves region bytes of log per worker out of a fresh
@@ -32,6 +33,9 @@ func NewAppendLog(p *platform.Platform, media string, workers int, region int64)
 		return nil, fmt.Errorf("service: bad append-log shape (%d workers, %d bytes)", workers, region)
 	}
 	bs := BackendSpec{Media: media}
+	if err := bs.normalize(); err != nil {
+		return nil, err
+	}
 	ns, err := bs.namespace(p, "serve-log")
 	if err != nil {
 		return nil, err
@@ -39,29 +43,39 @@ func NewAppendLog(p *platform.Platform, media string, workers int, region int64)
 	if int64(workers)*region > ns.Size {
 		return nil, fmt.Errorf("service: append log overflows namespace (%d × %d > %d)", workers, region, ns.Size)
 	}
-	return &AppendLog{ns: ns, region: region, heads: make([]int64, workers)}, nil
+	whole := pmem.Whole(ns)
+	logs := make([]*pmem.Appender, workers)
+	for w := range logs {
+		sub, err := whole.Sub(int64(w)*region, region)
+		if err != nil {
+			return nil, err
+		}
+		logs[w] = pmem.NewAppender(sub, pmem.NewPersister(pmem.NTStream))
+	}
+	return &AppendLog{region: region, logs: logs}, nil
 }
 
 // Append durably logs a key/value record on worker w's log: an 8-byte
-// length header plus the payload, streamed with non-temporal stores. The
-// log is circular; a record that would straddle the region end wraps to
-// the start (the stream restart is rare and costs one combining miss).
-// A record larger than the per-worker region is an error — wrapping it
-// would spill into the next worker's log.
+// length header plus the payload, assembled in the appender's reused
+// scratch buffer (no allocation on the PUT latency path) and streamed with
+// non-temporal stores. The log is circular; a record that would straddle
+// the region end wraps to the start (the stream restart is rare and costs
+// one combining miss). A record larger than the per-worker region is an
+// error — wrapping it would spill into the next worker's log.
 func (l *AppendLog) Append(ctx *platform.MemCtx, w int, key, val []byte) error {
-	rec := make([]byte, 8+len(key)+len(val))
-	if int64(len(rec)) > l.region {
-		return fmt.Errorf("service: %d-byte log record exceeds the %d-byte per-worker region", len(rec), l.region)
+	n := 8 + len(key) + len(val)
+	if int64(n) > l.region {
+		return fmt.Errorf("service: %d-byte log record exceeds the %d-byte per-worker region", n, l.region)
 	}
+	a := l.logs[w]
+	rec := a.Scratch(n)
 	binary.LittleEndian.PutUint32(rec[0:], uint32(len(key)))
 	binary.LittleEndian.PutUint32(rec[4:], uint32(len(val)))
 	copy(rec[8:], key)
 	copy(rec[8+len(key):], val)
-	head := l.heads[w]
-	if head+int64(len(rec)) > l.region {
-		head = 0
-	}
-	l.heads[w] = head + int64(len(rec))
-	ctx.PersistNT(l.ns, int64(w)*l.region+head, len(rec), rec)
-	return nil
+	_, err := a.Append(ctx, rec)
+	return err
 }
+
+// Workers returns how many per-worker logs the set holds.
+func (l *AppendLog) Workers() int { return len(l.logs) }

@@ -17,6 +17,15 @@ import (
 type Backend interface {
 	Get(ctx *platform.MemCtx, key []byte) ([]byte, bool)
 	Put(ctx *platform.MemCtx, key, val []byte) error
+	// Scan reads up to n records in key order starting at key, returning
+	// how many it touched. lsmkv serves it natively (a sorted memtable +
+	// SST merge walk); pmemkv has no ordered iterator and emulates it with
+	// n point lookups of the successive key ids, wrapping inside the
+	// preloaded keyspace shard.
+	Scan(ctx *platform.MemCtx, key []byte, n int) int
+	// Delete removes key (blind tombstone write for lsmkv, chain unlink
+	// for pmemkv).
+	Delete(ctx *platform.MemCtx, key []byte) error
 }
 
 // KeyFor renders the fixed-width key for a global key id, matching the
@@ -28,6 +37,11 @@ func KeyFor(id int64, size int) []byte {
 		k[i] = byte('k' + (id+int64(i))%13)
 	}
 	return k
+}
+
+// KeyID recovers the global key id a KeyFor key encodes.
+func KeyID(key []byte) int64 {
+	return int64(binary.LittleEndian.Uint64(key))
 }
 
 // ValFor renders a deterministic value for a key id.
@@ -49,24 +63,106 @@ type BackendSpec struct {
 	// fall inside [0, Keys)).
 	Keys             int64
 	KeySize, ValSize int
+	// PMBytes and DRAMBytes size the backing namespaces (defaults 128 MiB
+	// and 64 MiB); validated against the preloaded payload.
+	PMBytes, DRAMBytes int64
+	// ScanSpan is the key-id span an emulated scan wraps within (the
+	// per-tenant keyspace shard); 0 means the whole [0, Keys) range.
+	ScanSpan int64
+	// NativeScan routes lsmkv scans through the sorted merge iterator
+	// instead of the emulated point-lookup loop.
+	NativeScan bool
 }
 
+// lsmkvMemtableBytes is the serving backends' memtable cap.
+const lsmkvMemtableBytes = 8 << 20
+
+// normalize fills defaults and validates the namespace budget against the
+// preloaded payload.
+func (bs *BackendSpec) normalize() error {
+	if bs.PMBytes == 0 {
+		bs.PMBytes = 128 << 20
+	}
+	if bs.DRAMBytes == 0 {
+		bs.DRAMBytes = 64 << 20
+	}
+	if bs.ScanSpan == 0 {
+		bs.ScanSpan = bs.Keys
+	}
+	if bs.Keys > 0 {
+		payload := bs.Keys * int64(bs.KeySize+bs.ValSize)
+		if bs.PMBytes < payload {
+			return fmt.Errorf("service: pm namespace (%d bytes) smaller than the %d-byte preloaded payload (%d keys × %d bytes)",
+				bs.PMBytes, payload, bs.Keys, bs.KeySize+bs.ValSize)
+		}
+	}
+	return nil
+}
+
+// namespace carves the PM namespace; callers normalize the spec first
+// (NewAppendLog included), so PMBytes is always set here.
 func (bs BackendSpec) namespace(p *platform.Platform, name string) (*platform.Namespace, error) {
 	switch bs.Media {
 	case "optane":
-		return p.Optane(name, 0, 128<<20)
+		return p.Optane(name, 0, bs.PMBytes)
 	case "optane-ni":
-		return p.OptaneNI(name, 0, 0, 128<<20)
+		return p.OptaneNI(name, 0, 0, bs.PMBytes)
 	case "dram":
-		return p.DRAM(name, 0, 128<<20)
+		return p.DRAM(name, 0, bs.PMBytes)
 	default:
 		return nil, fmt.Errorf("service: unknown media %q (want optane, optane-ni or dram)", bs.Media)
 	}
 }
 
+// emulateScan is the shared emulated range read: n point lookups of the
+// successive key ids, wrapping inside the shard that owns the start key.
+func emulateScan(ctx *platform.MemCtx, get func(*platform.MemCtx, []byte) ([]byte, bool), start []byte, n int, span int64, keySize int) int {
+	id := KeyID(start)
+	base := id
+	if span > 0 {
+		base = id / span * span
+	}
+	for i := 0; i < n; i++ {
+		next := id + int64(i)
+		if span > 0 {
+			next = base + (id-base+int64(i))%span
+		}
+		get(ctx, KeyFor(next, keySize))
+	}
+	return n
+}
+
+// cmapBackend adapts pmemkv.CMap, carrying the key geometry its emulated
+// scans need.
+type cmapBackend struct {
+	m       *pmemkv.CMap
+	span    int64
+	keySize int
+}
+
+func (b *cmapBackend) Get(ctx *platform.MemCtx, key []byte) ([]byte, bool) {
+	return b.m.Get(ctx, key)
+}
+
+func (b *cmapBackend) Put(ctx *platform.MemCtx, key, val []byte) error {
+	return b.m.Put(ctx, key, val)
+}
+
+func (b *cmapBackend) Scan(ctx *platform.MemCtx, key []byte, n int) int {
+	return emulateScan(ctx, b.m.Get, key, n, b.span, b.keySize)
+}
+
+func (b *cmapBackend) Delete(ctx *platform.MemCtx, key []byte) error {
+	b.m.Delete(ctx, key)
+	return nil
+}
+
 // NewPMemKV builds a pmemkv cmap on the platform and preloads every key.
 // The load phase runs on its own simulated thread before serving starts.
 func NewPMemKV(p *platform.Platform, bs BackendSpec) (Backend, error) {
+	if err := bs.normalize(); err != nil {
+		return nil, err
+	}
 	ns, err := bs.namespace(p, "serve-kv")
 	if err != nil {
 		return nil, err
@@ -93,12 +189,17 @@ func NewPMemKV(p *platform.Platform, bs BackendSpec) (Backend, error) {
 	if loadErr != nil {
 		return nil, loadErr
 	}
-	return m, nil
+	return &cmapBackend{m: m, span: bs.ScanSpan, keySize: bs.KeySize}, nil
 }
 
-// lsmBackend adapts lsmkv.DB: a service PUT is a durable SET.
+// lsmBackend adapts lsmkv.DB: a service PUT is a durable SET, a DELETE is
+// a tombstone write, and a SCAN is either the native sorted merge walk or
+// the emulated point-lookup loop.
 type lsmBackend struct {
-	db *lsmkv.DB
+	db      *lsmkv.DB
+	span    int64
+	keySize int
+	native  bool
 }
 
 func (b *lsmBackend) Get(ctx *platform.MemCtx, key []byte) ([]byte, bool) {
@@ -109,8 +210,26 @@ func (b *lsmBackend) Put(ctx *platform.MemCtx, key, val []byte) error {
 	return b.db.Set(ctx, key, val)
 }
 
+func (b *lsmBackend) Scan(ctx *platform.MemCtx, key []byte, n int) int {
+	if b.native {
+		return b.db.Scan(ctx, key, n, func(_, _ []byte) bool { return true })
+	}
+	return emulateScan(ctx, b.db.Get, key, n, b.span, b.keySize)
+}
+
+func (b *lsmBackend) Delete(ctx *platform.MemCtx, key []byte) error {
+	return b.db.Delete(ctx, key)
+}
+
 // NewLSMKV builds an lsmkv database on the platform and preloads every key.
 func NewLSMKV(p *platform.Platform, bs BackendSpec) (Backend, error) {
+	if err := bs.normalize(); err != nil {
+		return nil, err
+	}
+	if bs.DRAMBytes < lsmkvMemtableBytes {
+		return nil, fmt.Errorf("service: dram namespace (%d bytes) smaller than the %d-byte memtable",
+			bs.DRAMBytes, int64(lsmkvMemtableBytes))
+	}
 	var mode lsmkv.Mode
 	switch bs.Mode {
 	case "wal-posix":
@@ -126,7 +245,7 @@ func NewLSMKV(p *platform.Platform, bs BackendSpec) (Backend, error) {
 	if err != nil {
 		return nil, err
 	}
-	dram, err := p.DRAM("serve-mem", 0, 64<<20)
+	dram, err := p.DRAM("serve-mem", 0, bs.DRAMBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -134,7 +253,7 @@ func NewLSMKV(p *platform.Platform, bs BackendSpec) (Backend, error) {
 	var loadErr error
 	p.Go("serve-load", 0, func(ctx *platform.MemCtx) {
 		db, loadErr = lsmkv.Open(ctx, lsmkv.Options{
-			Mode: mode, PM: pm, DRAM: dram, MemtableBytes: 8 << 20, Seed: 5,
+			Mode: mode, PM: pm, DRAM: dram, MemtableBytes: lsmkvMemtableBytes, Seed: 5,
 		})
 		if loadErr != nil {
 			return
@@ -150,7 +269,7 @@ func NewLSMKV(p *platform.Platform, bs BackendSpec) (Backend, error) {
 	if loadErr != nil {
 		return nil, loadErr
 	}
-	return &lsmBackend{db: db}, nil
+	return &lsmBackend{db: db, span: bs.ScanSpan, keySize: bs.KeySize, native: bs.NativeScan}, nil
 }
 
 // NewBackend builds the named backend ("pmemkv" or "lsmkv"), preloaded.

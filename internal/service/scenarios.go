@@ -35,6 +35,22 @@ func init() {
 		},
 		Run: runPoint,
 	})
+	// The scan preset exercises the redesigned Backend interface: lsmkv
+	// serves SCANs natively (one sorted memtable + SST merge walk instead
+	// of ScanLen point lookups) and a small DELETE fraction writes
+	// tombstones through the blind-delete path.
+	harness.Register(harness.Scenario{
+		Name: "service/kv/lsmkv-scan",
+		Doc:  "open-loop serving with native sorted-range SCANs and tombstone DELETEs on lsmkv",
+		Defaults: harness.Defaults{
+			Threads: 4, Duration: 2 * sim.Millisecond, Seed: 26,
+			Params: map[string]string{
+				"backend": "lsmkv", "offered": "150", "scanmode": "native",
+				"get": "0.5", "put": "0.2", "scan": "0.25", "del": "0.05",
+			},
+		},
+		Run: runPoint,
+	})
 	harness.Register(harness.Scenario{
 		Name: "service/kv/sweep-pmemkv",
 		Doc:  "pmemkv throughput-vs-latency curve across an offered-load grid",
@@ -102,12 +118,24 @@ func runPoint(spec harness.Spec) (harness.Trial, error) {
 	getFrac := r.Float("get", 0.75)
 	putFrac := r.Float("put", 0.2)
 	scanFrac := r.Float("scan", 0.05)
+	delFrac := r.Float("del", 0)
 	scanLen := r.Int("scanlen", 16)
+	scanMode := r.Str("scanmode", "emulate")
 	putlog := r.Bool("putlog", false)
 	qcap := r.Int("qcap", 0)
 	pollNS := r.Float("poll", 200)
+	pmBytes := r.Int64("pmbytes", 0)
+	dramBytes := r.Int64("drambytes", 0)
 	if err := r.Err(); err != nil {
 		return harness.Trial{}, err
+	}
+	var nativeScan bool
+	switch scanMode {
+	case "native":
+		nativeScan = true
+	case "emulate":
+	default:
+		return harness.Trial{}, fmt.Errorf("service: unknown scanmode %q (want emulate or native)", scanMode)
 	}
 	if offered <= 0 {
 		return harness.Trial{}, fmt.Errorf("service: offered load must be positive, got %g", offered)
@@ -125,6 +153,8 @@ func runPoint(spec harness.Spec) (harness.Trial, error) {
 	be, err := NewBackend(p, backend, BackendSpec{
 		Media: media, Mode: mode,
 		Keys: int64(tenants) * keys, KeySize: keySize, ValSize: valSize,
+		PMBytes: pmBytes, DRAMBytes: dramBytes,
+		ScanSpan: keys, NativeScan: nativeScan,
 	})
 	if err != nil {
 		return harness.Trial{}, err
@@ -165,7 +195,8 @@ func runPoint(spec harness.Spec) (harness.Trial, error) {
 		Socket: spec.Socket, Workers: spec.Threads, QueueCap: qcap,
 		Arrival: arr, Tenants: tens,
 		Keys: keys, KeySize: keySize, ValSize: valSize,
-		GetFrac: getFrac, PutFrac: putFrac, ScanFrac: scanFrac, ScanLen: scanLen,
+		GetFrac: getFrac, PutFrac: putFrac, ScanFrac: scanFrac, DelFrac: delFrac,
+		ScanLen:  scanLen,
 		PutLog:   plog,
 		Duration: spec.Duration, Warmup: spec.Warmup,
 		Poll: sim.Nanos(pollNS), Seed: spec.Seed,

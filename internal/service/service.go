@@ -33,6 +33,7 @@ const (
 	OpGet Op = iota
 	OpPut
 	OpScan
+	OpDel
 )
 
 func (o Op) String() string {
@@ -41,8 +42,10 @@ func (o Op) String() string {
 		return "GET"
 	case OpPut:
 		return "PUT"
-	default:
+	case OpScan:
 		return "SCAN"
+	default:
+		return "DEL"
 	}
 }
 
@@ -75,8 +78,9 @@ type Config struct {
 	// [i*Keys, (i+1)*Keys).
 	Keys             int64
 	KeySize, ValSize int
-	// GetFrac/PutFrac/ScanFrac select the op mix; they must sum to ~1.
-	GetFrac, PutFrac, ScanFrac float64
+	// GetFrac/PutFrac/ScanFrac/DelFrac select the op mix; they must sum
+	// to ~1.
+	GetFrac, PutFrac, ScanFrac, DelFrac float64
 	// ScanLen is the number of consecutive keys a SCAN reads.
 	ScanLen int
 	// PutLog, when set, switches PUT to write-behind logging: the record
@@ -216,7 +220,7 @@ func Serve(cfg Config) (*Result, error) {
 	if cfg.Keys < 1 || cfg.KeySize < 8 || cfg.Duration <= 0 {
 		return nil, errors.New("service: bad keyspace or duration")
 	}
-	total := cfg.GetFrac + cfg.PutFrac + cfg.ScanFrac
+	total := cfg.GetFrac + cfg.PutFrac + cfg.ScanFrac + cfg.DelFrac
 	if total <= 0 {
 		return nil, errors.New("service: op mix fractions must sum > 0")
 	}
@@ -249,6 +253,7 @@ func Serve(cfg Config) (*Result, error) {
 	deadline := warmEnd + cfg.Duration
 	getCut := cfg.GetFrac / total
 	putCut := (cfg.GetFrac + cfg.PutFrac) / total
+	scanCut := (cfg.GetFrac + cfg.PutFrac + cfg.ScanFrac) / total
 
 	// Dispatcher: walks arrival timestamps, stamps each request with its
 	// tenant, op and key, and either admits it or sheds it.
@@ -269,8 +274,12 @@ func Serve(cfg Config) (*Result, error) {
 				op = OpGet
 			case u < putCut:
 				op = OpPut
-			default:
+			case u < scanCut || cfg.DelFrac <= 0:
+				// The DelFrac guard keeps a zero delete fraction exactly
+				// delete-free (scanCut can round a hair below 1.0).
 				op = OpScan
+			default:
+				op = OpDel
 			}
 			measured := t >= warmEnd
 			if measured {
@@ -293,7 +302,7 @@ func Serve(cfg Config) (*Result, error) {
 	// Workers: pop-execute loops. An idle worker re-polls the queue every
 	// cfg.Poll; after the dispatcher closes, workers drain the backlog so
 	// admitted requests always complete.
-	if cfg.PutLog != nil && len(cfg.PutLog.heads) < cfg.Workers {
+	if cfg.PutLog != nil && cfg.PutLog.Workers() < cfg.Workers {
 		return nil, errors.New("service: append log has fewer per-worker logs than workers")
 	}
 	var execErr error
@@ -348,9 +357,9 @@ func Serve(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// execute runs one request against the backend. A SCAN is modeled as
-// ScanLen consecutive point reads within the tenant's key range (the cmap
-// backend has no ordered iterator, so both backends share this shape).
+// execute runs one request against the backend. A SCAN goes through
+// Backend.Scan — lsmkv's native sorted merge walk, or the emulated
+// consecutive point reads wrapping inside the tenant's keyspace shard.
 func execute(ctx *platform.MemCtx, cfg Config, worker int, req request) error {
 	switch req.op {
 	case OpGet:
@@ -361,12 +370,10 @@ func execute(ctx *platform.MemCtx, cfg Config, worker int, req request) error {
 			return cfg.PutLog.Append(ctx, worker, KeyFor(req.key, cfg.KeySize), ValFor(req.key+1, cfg.ValSize))
 		}
 		return cfg.Backend.Put(ctx, KeyFor(req.key, cfg.KeySize), ValFor(req.key+1, cfg.ValSize))
+	case OpDel:
+		return cfg.Backend.Delete(ctx, KeyFor(req.key, cfg.KeySize))
 	default:
-		base := int64(req.tenant) * cfg.Keys
-		for i := 0; i < cfg.ScanLen; i++ {
-			id := base + (req.key-base+int64(i))%cfg.Keys
-			cfg.Backend.Get(ctx, KeyFor(id, cfg.KeySize))
-		}
+		cfg.Backend.Scan(ctx, KeyFor(req.key, cfg.KeySize), cfg.ScanLen)
 		return nil
 	}
 }

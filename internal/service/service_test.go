@@ -93,7 +93,7 @@ func TestArrivalDeterministic(t *testing.T) {
 func serveOnce(t *testing.T, seed uint64, offered float64, qcap int) *Result {
 	t.Helper()
 	p := testPlatform(t)
-	be, err := NewPMemKV(p, BackendSpec{Media: "optane", Keys: 400, KeySize: 16, ValSize: 128})
+	be, err := NewPMemKV(p, BackendSpec{Media: "optane", Keys: 400, KeySize: 16, ValSize: 128, ScanSpan: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,6 +216,109 @@ func TestAppendLog(t *testing.T) {
 	if _, err := NewAppendLog(p, "dram", 1, 100); err == nil {
 		t.Fatal("tiny region must error")
 	}
+}
+
+// TestBackendScanDelete covers the redesigned Backend interface: pmemkv's
+// explicit emulated scan wraps inside the keyspace shard, lsmkv's native
+// scan walks sorted order, and Delete removes keys on both engines.
+func TestBackendScanDelete(t *testing.T) {
+	for _, name := range []string{"pmemkv", "lsmkv"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p := testPlatform(t)
+			be, err := NewBackend(p, name, BackendSpec{
+				Media: "optane", Keys: 100, KeySize: 16, ValSize: 64,
+				ScanSpan: 50, NativeScan: name == "lsmkv",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var scanErr error
+			p.Go("t", 0, func(ctx *platform.MemCtx) {
+				// A scan near the shard end must touch n records (the
+				// emulated path wraps at id 50; the native path keeps
+				// walking sorted order).
+				if n := be.Scan(ctx, KeyFor(45, 16), 10); n != 10 {
+					t.Errorf("scan touched %d records, want 10", n)
+				}
+				if err := be.Delete(ctx, KeyFor(7, 16)); err != nil {
+					scanErr = err
+					return
+				}
+				if v, ok := be.Get(ctx, KeyFor(7, 16)); ok {
+					t.Errorf("deleted key still returns %q", v)
+				}
+				if _, ok := be.Get(ctx, KeyFor(8, 16)); !ok {
+					t.Error("neighbor key lost after delete")
+				}
+			})
+			p.Run()
+			if scanErr != nil {
+				t.Fatal(scanErr)
+			}
+		})
+	}
+}
+
+// TestNativeScanCheaper: the point of the native sorted-range scan is that
+// one merge walk beats n point lookups in simulated time.
+func TestNativeScanCheaper(t *testing.T) {
+	scanTime := func(native bool) sim.Time {
+		p := testPlatform(t)
+		be, err := NewBackend(p, "lsmkv", BackendSpec{
+			Media: "optane", Keys: 400, KeySize: 16, ValSize: 128,
+			NativeScan: native,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var elapsed sim.Time
+		p.Go("t", 0, func(ctx *platform.MemCtx) {
+			start := ctx.Proc().Now()
+			for s := int64(0); s < 360; s += 40 {
+				be.Scan(ctx, KeyFor(s, 16), 16)
+			}
+			elapsed = ctx.Proc().Now() - start
+		})
+		p.Run()
+		return elapsed
+	}
+	emulated := scanTime(false)
+	native := scanTime(true)
+	if native >= emulated {
+		t.Fatalf("native scan (%v) must beat %d emulated point lookups (%v)", native, 16, emulated)
+	}
+}
+
+func TestBackendSpecValidation(t *testing.T) {
+	p := testPlatform(t)
+	// Payload larger than the PM namespace must be refused up front.
+	if _, err := NewBackend(p, "pmemkv", BackendSpec{
+		Media: "optane", Keys: 1000, KeySize: 64, ValSize: 4096, PMBytes: 1 << 20,
+	}); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+	// A DRAM budget below the memtable must be refused for lsmkv.
+	if _, err := NewBackend(p, "lsmkv", BackendSpec{
+		Media: "optane", Keys: 10, KeySize: 16, ValSize: 64, DRAMBytes: 1 << 20,
+	}); err == nil {
+		t.Fatal("undersized DRAM budget accepted")
+	}
+	// Custom (sufficient) budgets work end to end.
+	p2 := testPlatform(t)
+	be, err := NewBackend(p2, "pmemkv", BackendSpec{
+		Media: "optane", Keys: 50, KeySize: 16, ValSize: 64,
+		PMBytes: 32 << 20, DRAMBytes: 16 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.Go("t", 0, func(ctx *platform.MemCtx) {
+		if _, ok := be.Get(ctx, KeyFor(25, 16)); !ok {
+			t.Error("preloaded key missing on custom-sized namespace")
+		}
+	})
+	p2.Run()
 }
 
 func TestKneeIndex(t *testing.T) {
