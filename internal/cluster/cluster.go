@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"fmt"
+
+	"optanestudy/internal/platform"
+	"optanestudy/internal/service"
+)
+
+// Config assembles a cluster on one platform: a placement policy resolved
+// over the machine's geometry, one preloaded backend replica per shard on
+// its placement, and the router that partitions traffic.
+type Config struct {
+	// Policy / Shards / Workers / DIMMs / CapPerDIMM / ClientSocket feed
+	// the placement (see PlaceConfig).
+	Policy       string
+	Shards       int
+	Workers      int
+	DIMMs        int
+	CapPerDIMM   int
+	ClientSocket int
+	// Span is the router's block width in key ids (default 1).
+	Span int64
+	// QueueCap bounds each shard's admission queue (default 32×workers).
+	QueueCap int
+	// Backend is "pmemkv" or "lsmkv"; Spec carries the preload geometry
+	// (Keys is the full global keyspace — every shard holds a replica, the
+	// router partitions traffic, not data). Spec's placement fields
+	// (Socket, Channels, NamePrefix, Media "optane-ni") are owned by the
+	// cluster and must be left zero; Media chooses "optane" or "dram".
+	Backend string
+	Spec    service.BackendSpec
+	// PutLog switches PUTs to write-behind logging on per-worker appenders
+	// carved from each shard's own DIMM set; LogRegion is the per-worker
+	// log size (default 2 MiB).
+	PutLog    bool
+	LogRegion int64
+}
+
+// Cluster is the assembled serving fabric: hand Shards and Route to
+// service.Serve.
+type Cluster struct {
+	Placement *Placement
+	Router    *Router
+	// Shards are the dispatch targets, one per placement slot.
+	Shards []service.Shard
+}
+
+// Route maps a global key id to its shard (the service dispatch hook).
+func (c *Cluster) Route(key int64) int { return c.Router.Shard(key) }
+
+// TotalWorkers sums the shard pools (after any per-DIMM cap).
+func (c *Cluster) TotalWorkers() int {
+	n := 0
+	for _, sh := range c.Shards {
+		n += sh.Workers
+	}
+	return n
+}
+
+// New places and builds the cluster on the platform: for each shard, a
+// preloaded backend replica (and optionally a per-worker append log) on
+// the shard's (socket, DIMM-set), wired into a service.Shard with the
+// policy's worker pool.
+func New(p *platform.Platform, cfg Config) (*Cluster, error) {
+	if cfg.Spec.Socket != 0 || cfg.Spec.Channels != nil || cfg.Spec.NamePrefix != "" {
+		return nil, fmt.Errorf("cluster: BackendSpec placement fields are cluster-owned")
+	}
+	if cfg.Spec.Media == "optane-ni" {
+		return nil, fmt.Errorf("cluster: use media optane with a DIMMs=1 placement instead of optane-ni")
+	}
+	pl, err := Place(PlaceConfig{
+		Policy: cfg.Policy, Geom: p.Config().Geometry,
+		ClientSocket: cfg.ClientSocket,
+		Shards:       cfg.Shards, Workers: cfg.Workers,
+		DIMMs: cfg.DIMMs, CapPerDIMM: cfg.CapPerDIMM,
+	})
+	if err != nil {
+		return nil, err
+	}
+	span := cfg.Span
+	if span == 0 {
+		span = 1
+	}
+	router, err := NewRouter(cfg.Shards, span)
+	if err != nil {
+		return nil, err
+	}
+	logRegion := cfg.LogRegion
+	if logRegion == 0 {
+		logRegion = 2 << 20
+	}
+	c := &Cluster{Placement: pl, Router: router, Shards: make([]service.Shard, cfg.Shards)}
+	for i, sp := range pl.Shards {
+		bs := cfg.Spec
+		bs.Socket = sp.DataSocket
+		bs.Channels = sp.Channels
+		bs.NamePrefix = fmt.Sprintf("shard%d", i)
+		be, err := service.NewBackend(p, cfg.Backend, bs)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+		var plog *service.AppendLog
+		if cfg.PutLog {
+			ls := bs
+			ls.NamePrefix = fmt.Sprintf("shard%dlog", i)
+			plog, err = service.NewAppendLog(p, ls, sp.Workers, logRegion)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: shard %d log: %w", i, err)
+			}
+		}
+		c.Shards[i] = service.Shard{
+			Backend: be, Workers: sp.Workers, QueueCap: cfg.QueueCap,
+			Socket: sp.WorkerSocket, PutLog: plog,
+		}
+	}
+	return c, nil
+}

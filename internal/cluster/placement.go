@@ -1,0 +1,234 @@
+// Package cluster is the topology-aware sharded serving layer: it routes
+// the open-loop traffic of internal/service through a deterministic hash
+// router onto N shard replicas, where each shard is a service.Backend
+// pinned to a concrete (socket, DIMM-set) placement drawn from
+// internal/topology, with a per-shard bounded admission queue and worker
+// pool.
+//
+// The paper's best practices are fundamentally placement rules — limit the
+// threads contending for a DIMM (§5.3), avoid NUMA-remote Optane accesses
+// (§5.4), exploit interleaving (§2.3) — and the placement policies here
+// compose them into the system-level question: how do you lay a sharded
+// store out across sockets and DIMMs to serve heavy multi-tenant traffic?
+// Load sweeps per policy emit throughput-latency curves whose knees make
+// the rules quantitative.
+package cluster
+
+import (
+	"fmt"
+
+	"optanestudy/internal/topology"
+)
+
+// Placement policies.
+const (
+	// PolicyLocalPacked puts every shard on the client socket and
+	// partitions that socket's DIMMs among the shards (disjoint DIMM sets,
+	// all accesses local).
+	PolicyLocalPacked = "local-packed"
+	// PolicyInterleaved stripes every shard across all DIMMs of the client
+	// socket (namespaces stack; the iMC spreads each shard's traffic over
+	// all six channels).
+	PolicyInterleaved = "interleaved"
+	// PolicyNUMABlind round-robins shard data across both sockets while
+	// the worker threads stay wherever the client frontend runs — the
+	// allocation a NUMA-unaware allocator produces. Shards homed on the
+	// far socket pay the UPI remote penalty on every access (fig. 18/19).
+	PolicyNUMABlind = "numa-blind"
+	// PolicyCapped is local-packed plus a threads-per-DIMM cap on each
+	// shard's worker pool (the paper's §5.3 limit): a shard on d DIMMs
+	// gets at most CapPerDIMM×d workers no matter how many are requested.
+	PolicyCapped = "capped"
+)
+
+// Policies lists the implemented placement policies.
+func Policies() []string {
+	return []string{PolicyLocalPacked, PolicyInterleaved, PolicyNUMABlind, PolicyCapped}
+}
+
+// ShardPlacement pins one shard: the socket and DIMM set backing its data,
+// the socket its workers run on, and its worker-pool size after any
+// per-DIMM cap.
+type ShardPlacement struct {
+	DataSocket   int
+	Channels     []int
+	WorkerSocket int
+	Workers      int
+}
+
+// Remote reports whether the shard's workers access its data across the
+// UPI link.
+func (sp ShardPlacement) Remote(g topology.Geometry) bool {
+	return g.Remote(sp.WorkerSocket, sp.DataSocket)
+}
+
+// Placement is a policy resolved against a concrete geometry.
+type Placement struct {
+	Policy string
+	Geom   topology.Geometry
+	Shards []ShardPlacement
+}
+
+// RemoteShards counts shards whose data is remote from their workers.
+func (pl *Placement) RemoteShards() int {
+	n := 0
+	for _, sp := range pl.Shards {
+		if sp.Remote(pl.Geom) {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalWorkers sums the per-shard pools.
+func (pl *Placement) TotalWorkers() int {
+	n := 0
+	for _, sp := range pl.Shards {
+		n += sp.Workers
+	}
+	return n
+}
+
+// PlaceConfig parameterizes a placement.
+type PlaceConfig struct {
+	Policy string
+	Geom   topology.Geometry
+	// ClientSocket is where the frontend (dispatcher) and, policy
+	// permitting, the workers run.
+	ClientSocket int
+	// Shards is the shard count; Workers the requested per-shard pool.
+	Shards  int
+	Workers int
+	// DIMMs, when positive, forces every shard onto exactly that many
+	// consecutive channels (wrapping round-robin, so shards may share
+	// DIMMs once Shards×DIMMs exceeds the socket's channels) — the knob
+	// that builds single-DIMM-heavy layouts. 0 partitions each socket's
+	// channels evenly among the shards homed there.
+	DIMMs int
+	// CapPerDIMM bounds workers per DIMM under PolicyCapped (default 4,
+	// the paper's contention limit).
+	CapPerDIMM int
+}
+
+// partition splits channels into n contiguous blocks whose sizes differ by
+// at most one; with n > len(channels) the blocks wrap round-robin so every
+// shard still gets a DIMM.
+func partition(channels []int, n int) [][]int {
+	out := make([][]int, n)
+	if n > len(channels) {
+		for i := range out {
+			out[i] = []int{channels[i%len(channels)]}
+		}
+		return out
+	}
+	base, extra := len(channels)/n, len(channels)%n
+	at := 0
+	for i := range out {
+		size := base
+		if i < extra {
+			size++
+		}
+		out[i] = channels[at : at+size]
+		at += size
+	}
+	return out
+}
+
+// window returns d consecutive channels starting at start, wrapping.
+func window(channels []int, start, d int) []int {
+	out := make([]int, d)
+	for i := range out {
+		out[i] = channels[(start+i)%len(channels)]
+	}
+	return out
+}
+
+// Place resolves the policy into per-shard (socket, DIMM-set, workers)
+// placements. It is pure: the same config always yields the same
+// placement, which is what lets cluster trials rebuild identical platforms
+// at any scheduling width.
+func Place(pc PlaceConfig) (*Placement, error) {
+	if err := pc.Geom.Validate(); err != nil {
+		return nil, err
+	}
+	if pc.ClientSocket < 0 || pc.ClientSocket >= pc.Geom.Sockets {
+		return nil, fmt.Errorf("cluster: client socket %d outside the geometry", pc.ClientSocket)
+	}
+	if pc.Shards < 1 || pc.Workers < 1 {
+		return nil, fmt.Errorf("cluster: need at least one shard and one worker (got %d, %d)", pc.Shards, pc.Workers)
+	}
+	if pc.DIMMs < 0 || pc.DIMMs > pc.Geom.ChannelsPerSocket {
+		return nil, fmt.Errorf("cluster: %d DIMMs per shard outside the socket's %d channels", pc.DIMMs, pc.Geom.ChannelsPerSocket)
+	}
+	if pc.CapPerDIMM == 0 {
+		pc.CapPerDIMM = 4
+	}
+	if pc.CapPerDIMM < 1 {
+		return nil, fmt.Errorf("cluster: bad threads-per-DIMM cap %d", pc.CapPerDIMM)
+	}
+	chans := pc.Geom.ChannelIDs()
+	pl := &Placement{Policy: pc.Policy, Geom: pc.Geom, Shards: make([]ShardPlacement, pc.Shards)}
+
+	// dimmSets lays the shards of one socket out over its channels.
+	dimmSets := func(n int) [][]int {
+		if pc.DIMMs > 0 {
+			sets := make([][]int, n)
+			for i := range sets {
+				sets[i] = window(chans, i*pc.DIMMs, pc.DIMMs)
+			}
+			return sets
+		}
+		return partition(chans, n)
+	}
+
+	switch pc.Policy {
+	case PolicyLocalPacked, PolicyCapped:
+		sets := dimmSets(pc.Shards)
+		for i := range pl.Shards {
+			w := pc.Workers
+			if pc.Policy == PolicyCapped {
+				if limit := pc.CapPerDIMM * len(sets[i]); w > limit {
+					w = limit
+				}
+			}
+			pl.Shards[i] = ShardPlacement{
+				DataSocket: pc.ClientSocket, Channels: sets[i],
+				WorkerSocket: pc.ClientSocket, Workers: w,
+			}
+		}
+	case PolicyInterleaved:
+		for i := range pl.Shards {
+			pl.Shards[i] = ShardPlacement{
+				DataSocket: pc.ClientSocket, Channels: append([]int(nil), chans...),
+				WorkerSocket: pc.ClientSocket, Workers: pc.Workers,
+			}
+		}
+	case PolicyNUMABlind:
+		// Data lands round-robin across sockets; the shards homed on one
+		// socket partition its channels exactly as local-packed would.
+		// Workers are left on the client socket — the placement is blind,
+		// so shards on the far socket are served entirely across UPI.
+		perSocket := make([]int, pc.Geom.Sockets)
+		for i := 0; i < pc.Shards; i++ {
+			perSocket[i%pc.Geom.Sockets]++
+		}
+		sets := make([][][]int, pc.Geom.Sockets)
+		for s, n := range perSocket {
+			if n > 0 {
+				sets[s] = dimmSets(n)
+			}
+		}
+		slot := make([]int, pc.Geom.Sockets)
+		for i := range pl.Shards {
+			s := i % pc.Geom.Sockets
+			pl.Shards[i] = ShardPlacement{
+				DataSocket: s, Channels: sets[s][slot[s]],
+				WorkerSocket: pc.ClientSocket, Workers: pc.Workers,
+			}
+			slot[s]++
+		}
+	default:
+		return nil, fmt.Errorf("cluster: unknown placement policy %q (want %v)", pc.Policy, Policies())
+	}
+	return pl, nil
+}

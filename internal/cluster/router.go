@@ -1,0 +1,49 @@
+package cluster
+
+import "fmt"
+
+// Router deterministically maps global key ids onto shards by hashing the
+// id's routing block with FNV-1a. Span is the routing-block width in key
+// ids: 1 hashes every key independently (uniform scatter, the default),
+// while a larger span keeps runs of Span consecutive ids on one shard —
+// which is what lets a shifting hot range concentrate on one shard at a
+// time instead of dissolving into the hash.
+//
+// The router is pure state: the same (shards, span, key) always yields the
+// same shard, on any machine, at any scheduling width.
+type Router struct {
+	shards int
+	span   int64
+}
+
+// NewRouter returns a router over the shard count.
+func NewRouter(shards int, span int64) (*Router, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("cluster: router needs at least one shard, got %d", shards)
+	}
+	if span < 1 {
+		return nil, fmt.Errorf("cluster: routing span must be positive, got %d", span)
+	}
+	return &Router{shards: shards, span: span}, nil
+}
+
+// Shards returns the shard count.
+func (r *Router) Shards() int { return r.shards }
+
+// Span returns the routing-block width.
+func (r *Router) Span() int64 { return r.span }
+
+// Shard maps a global key id to its shard.
+func (r *Router) Shard(key int64) int {
+	block := uint64(key)
+	if r.span > 1 {
+		block = uint64(key / r.span)
+	}
+	// FNV-1a over the block's eight little-endian bytes.
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h ^= (block >> (8 * uint(i))) & 0xFF
+		h *= 1099511628211
+	}
+	return int(h % uint64(r.shards))
+}

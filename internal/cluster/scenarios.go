@@ -1,0 +1,382 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"optanestudy/internal/harness"
+	"optanestudy/internal/platform"
+	"optanestudy/internal/service"
+	"optanestudy/internal/sim"
+)
+
+// Harness scenarios. "cluster/point" measures one load level through the
+// sharded fabric (spec.Threads is the requested per-shard pool); the
+// "cluster/sweep-*" presets step offered load per placement policy and
+// emit the throughput-latency curve, knee and saturation — local-packed,
+// interleaved and numa-blind on the common two-shard layout, and
+// sweep-capped racing the §5.3 worker cap against an uncapped pool on a
+// single-DIMM-heavy layout. "cluster/hotspot" drives a shifting hot range
+// through block routing so load piles onto one shard at a time.
+func init() {
+	harness.Register(harness.Scenario{
+		Name: "cluster/point",
+		Doc:  "one open-loop load level through the sharded, placement-pinned serving fabric",
+		Defaults: harness.Defaults{
+			Threads: 4, Duration: 300 * sim.Microsecond, Seed: 51,
+			Params: map[string]string{"policy": PolicyLocalPacked, "offered": "8000"},
+		},
+		Run: runClusterPoint,
+	})
+	harness.Register(harness.Scenario{
+		Name: "cluster/hotspot",
+		Doc:  "shifting-hotspot skew under block routing: load concentrates on one shard at a time",
+		Defaults: harness.Defaults{
+			Threads: 2, Duration: 400 * sim.Microsecond, Seed: 57,
+			Params: map[string]string{
+				"policy": PolicyLocalPacked, "shards": "4", "span": "500",
+				"tenants": "2", "keys": "2000", "mix": "hotsplit",
+				"hotkeys": "150", "hotperiod": "4000", "hotfrac": "0.95",
+				"offered": "9000", "qcap": "24",
+			},
+		},
+		Run: runClusterPoint,
+	})
+	sweepDefaults := func(policy string, seed uint64) harness.Defaults {
+		return harness.Defaults{
+			Threads: 4, Duration: 300 * sim.Microsecond, Seed: seed,
+			Params: map[string]string{
+				"policy": policy, "shards": "2",
+				"get": "0.5", "put": "0.5", "scan": "0",
+				"minkops": "2000", "maxkops": "34000", "points": "7",
+			},
+		}
+	}
+	harness.Register(harness.Scenario{
+		Name:     "cluster/sweep-local-packed",
+		Doc:      "throughput-latency curve: shards packed on the client socket, DIMMs partitioned",
+		Defaults: sweepDefaults(PolicyLocalPacked, 52),
+		Run:      runClusterSweep,
+	})
+	harness.Register(harness.Scenario{
+		Name:     "cluster/sweep-interleaved",
+		Doc:      "throughput-latency curve: every shard striped across all client-socket DIMMs",
+		Defaults: sweepDefaults(PolicyInterleaved, 53),
+		Run:      runClusterSweep,
+	})
+	harness.Register(harness.Scenario{
+		Name:     "cluster/sweep-numa-blind",
+		Doc:      "throughput-latency curve: shard data round-robined across sockets, workers unpinned",
+		Defaults: sweepDefaults(PolicyNUMABlind, 54),
+		Run:      runClusterSweep,
+	})
+	// The capped preset builds the single-DIMM-heavy layout of the §5.3
+	// experiment — every shard on one DIMM, 16 write-behind log streams
+	// requested per shard — and races the capped policy against the same
+	// layout uncapped.
+	harness.Register(harness.Scenario{
+		Name: "cluster/sweep-capped",
+		Doc:  "threads-per-DIMM cap vs uncapped 16-worker pools on single-DIMM shards",
+		Defaults: harness.Defaults{
+			Threads: 16, Duration: 300 * sim.Microsecond, Seed: 55,
+			Params: map[string]string{
+				"policygrid": PolicyCapped + "," + PolicyLocalPacked,
+				"shards":     "2", "dimms": "1", "capdimm": "4",
+				"putlog": "1", "keysize": "8", "valsize": "112",
+				"get": "0.3", "put": "0.7", "scan": "0",
+				"minkops": "6000", "maxkops": "42000", "points": "7",
+			},
+		},
+		Run: runClusterSweep,
+	})
+}
+
+// runClusterPoint measures one open-loop load level through the cluster.
+func runClusterPoint(spec harness.Spec) (harness.Trial, error) {
+	r := harness.NewParamReader(spec.Params)
+	policy := r.Str("policy", PolicyLocalPacked)
+	shards := r.Int("shards", 2)
+	dimms := r.Int("dimms", 0)
+	capDIMM := r.Int("capdimm", 4)
+	span := r.Int64("span", 1)
+	backend := r.Str("backend", "pmemkv")
+	media := r.Str("media", "optane")
+	mode := r.Str("mode", "wal-flex")
+	arrival := r.Str("arrival", "poisson")
+	offered := r.Float("offered", 8000) // kops, cluster-wide
+	cycleUS := r.Float("cycle", 20)
+	onFrac := r.Float("onfrac", 0.25)
+	tenants := r.Int("tenants", 2)
+	theta := r.Float("theta", 0.99)
+	mix := r.Str("mix", "split")
+	hotFrac := r.Float("hotfrac", 0.9)
+	hotKeys := r.Int64("hotkeys", 0)
+	hotPeriod := r.Int64("hotperiod", 2000)
+	keys := r.Int64("keys", 200)
+	keySize := r.Int("keysize", 16)
+	valSize := r.Int("valsize", 128)
+	getFrac := r.Float("get", 0.75)
+	putFrac := r.Float("put", 0.2)
+	scanFrac := r.Float("scan", 0.05)
+	delFrac := r.Float("del", 0)
+	scanLen := r.Int("scanlen", 16)
+	scanMode := r.Str("scanmode", "emulate")
+	putlog := r.Bool("putlog", false)
+	qcap := r.Int("qcap", 0)
+	pollNS := r.Float("poll", 200)
+	pmBytes := r.Int64("pmbytes", 0)
+	dramBytes := r.Int64("drambytes", 0)
+	if err := r.Err(); err != nil {
+		return harness.Trial{}, err
+	}
+	var nativeScan bool
+	switch scanMode {
+	case "native":
+		nativeScan = true
+	case "emulate":
+	default:
+		return harness.Trial{}, fmt.Errorf("cluster: unknown scanmode %q (want emulate or native)", scanMode)
+	}
+	if offered <= 0 {
+		return harness.Trial{}, fmt.Errorf("cluster: offered load must be positive, got %g", offered)
+	}
+	if tenants < 1 {
+		return harness.Trial{}, fmt.Errorf("cluster: need at least one tenant, got %d", tenants)
+	}
+	if hotKeys == 0 {
+		hotKeys = keys/20 + 1
+	}
+	tens := make([]service.Tenant, tenants)
+	for i := range tens {
+		tens[i] = service.Tenant{Name: fmt.Sprintf("t%d", i)}
+		switch mix {
+		case "zipf":
+			tens[i].Theta = theta
+		case "uniform":
+		case "split":
+			if i%2 == 0 {
+				tens[i].Theta = theta
+			}
+		case "hotspot":
+			tens[i].HotFrac = hotFrac
+			tens[i].HotKeys = hotKeys
+			tens[i].HotPeriod = hotPeriod
+		case "hotsplit":
+			// Tenant 0 is the skewed hot-range tenant; the rest stay
+			// uniform, so shed accounting shows who a hot shard drops.
+			if i == 0 {
+				tens[i].HotFrac = hotFrac
+				tens[i].HotKeys = hotKeys
+				tens[i].HotPeriod = hotPeriod
+			}
+		default:
+			return harness.Trial{}, fmt.Errorf("cluster: unknown key mix %q (want zipf, uniform, split, hotspot or hotsplit)", mix)
+		}
+	}
+
+	cfg := platform.DefaultConfig()
+	cfg.TrackData = true
+	cfg.XP.Wear.Enabled = false
+	p := platform.MustNew(cfg)
+	defer p.Close()
+
+	cl, err := New(p, Config{
+		Policy: policy, Shards: shards, Workers: spec.Threads,
+		DIMMs: dimms, CapPerDIMM: capDIMM, ClientSocket: spec.Socket,
+		Span: span, QueueCap: qcap,
+		Backend: backend,
+		Spec: service.BackendSpec{
+			Media: media, Mode: mode,
+			Keys: int64(tenants) * keys, KeySize: keySize, ValSize: valSize,
+			PMBytes: pmBytes, DRAMBytes: dramBytes,
+			ScanSpan: keys, NativeScan: nativeScan,
+		},
+		PutLog: putlog,
+	})
+	if err != nil {
+		return harness.Trial{}, err
+	}
+	arr, err := service.NewArrival(arrival, offered*1e3, sim.Micros(cycleUS), onFrac, spec.Seed^0x5A17)
+	if err != nil {
+		return harness.Trial{}, err
+	}
+	res, err := service.Serve(service.Config{
+		Platform: p, Socket: spec.Socket,
+		Shards: cl.Shards, Route: cl.Route,
+		Arrival: arr, Tenants: tens,
+		Keys: keys, KeySize: keySize, ValSize: valSize,
+		GetFrac: getFrac, PutFrac: putFrac, ScanFrac: scanFrac, DelFrac: delFrac,
+		ScanLen:  scanLen,
+		Duration: spec.Duration, Warmup: spec.Warmup,
+		Poll: sim.Nanos(pollNS), Seed: spec.Seed,
+	})
+	if err != nil {
+		return harness.Trial{}, err
+	}
+
+	workers := cl.TotalWorkers()
+	qs := res.Latency.Quantiles([]float64{0.5, 0.95, 0.99, 0.999})
+	m := map[string]float64{
+		"offered_kops":  res.OfferedRate / 1e3,
+		"achieved_kops": res.AchievedRate / 1e3,
+		"drop_frac":     dropFrac(res.Dropped, res.Offered),
+		"p50_ns":        qs[0],
+		"p95_ns":        qs[1],
+		"p99_ns":        qs[2],
+		"p999_ns":       qs[3],
+		"util":          res.Utilization(workers),
+		"qmax":          float64(res.MaxQueueLen),
+		"workers":       float64(workers),
+		"remote_shards": float64(cl.Placement.RemoteShards()),
+	}
+	maxShare := 0.0
+	for i := range res.Shards {
+		sh := &res.Shards[i]
+		share := 0.0
+		if res.Completed > 0 {
+			share = float64(sh.Completed) / float64(res.Completed)
+		}
+		if share > maxShare {
+			maxShare = share
+		}
+		m[fmt.Sprintf("s%d_share", i)] = share
+		m[fmt.Sprintf("s%d_p99_ns", i)] = sh.Latency.Percentile(0.99)
+		m[fmt.Sprintf("s%d_drop_frac", i)] = dropFrac(sh.Dropped, sh.Offered)
+		m[fmt.Sprintf("s%d_qmax", i)] = float64(sh.MaxQueueLen)
+	}
+	m["max_shard_share"] = maxShare
+	for i := range res.Tenants {
+		t := &res.Tenants[i]
+		m[fmt.Sprintf("t%d_p99_ns", i)] = t.Latency.Percentile(0.99)
+		m[fmt.Sprintf("t%d_drop_frac", i)] = dropFrac(t.Dropped, t.Offered)
+		if res.Dropped > 0 {
+			m[fmt.Sprintf("t%d_shed_ops", i)] = float64(t.Dropped)
+		}
+	}
+	return harness.Trial{
+		Ops:     res.Completed,
+		Sim:     res.Window,
+		Latency: res.Latency,
+		Metrics: m,
+	}, nil
+}
+
+func dropFrac(dropped, offered int64) float64 {
+	if offered == 0 {
+		return 0
+	}
+	return float64(dropped) / float64(offered)
+}
+
+// runClusterSweep fans a load grid out over nested cluster/point trials,
+// once per policy in the policygrid (default: the single policy param).
+// Grid params are consumed here; everything else passes through to the
+// point scenario verbatim, whose reader catches typos.
+func runClusterSweep(spec harness.Spec) (harness.Trial, error) {
+	rest := make(map[string]string, len(spec.Params))
+	for k, v := range spec.Params {
+		rest[k] = v
+	}
+	minKops, maxKops, pointsF, err := service.GridParams(rest, 2000, 34000, 7)
+	if err != nil {
+		return harness.Trial{}, err
+	}
+	policies := []string{rest["policy"]}
+	if policies[0] == "" {
+		policies[0] = PolicyLocalPacked
+	}
+	if pg, ok := rest["policygrid"]; ok {
+		delete(rest, "policygrid")
+		policies = policies[:0]
+		for _, s := range strings.Split(pg, ",") {
+			policies = append(policies, strings.TrimSpace(s))
+		}
+	}
+
+	tr := harness.Trial{Metrics: make(map[string]float64)}
+	var text strings.Builder
+	for _, policy := range policies {
+		params := make(map[string]string, len(rest))
+		for k, v := range rest {
+			params[k] = v
+		}
+		params["policy"] = policy
+		curve, err := RunSweep(SweepConfig{
+			Params:  params,
+			Threads: spec.Threads, Duration: spec.Duration, Warmup: spec.Warmup,
+			Seed:    spec.Seed,
+			MinKops: minKops, MaxKops: maxKops, Points: int(pointsF),
+			Parallel: spec.Parallel,
+		})
+		if err != nil {
+			return harness.Trial{}, err
+		}
+		suffix := ""
+		if len(policies) > 1 {
+			suffix = "@" + policy
+		}
+		service.EmitCurve(&tr, curve, suffix)
+		// Deep-overload shed accounting: who gets dropped at the top of
+		// the grid (per-tenant keys appear only once the point sheds).
+		deep := curve[len(curve)-1].Metrics
+		var shedKeys []string
+		for k := range deep {
+			if strings.HasSuffix(k, "_shed_ops") {
+				shedKeys = append(shedKeys, k)
+			}
+		}
+		sort.Strings(shedKeys)
+		for _, k := range shedKeys {
+			tr.Metrics[k+suffix] = deep[k]
+		}
+		title := fmt.Sprintf("cluster sweep: policy %s, %d shards, %s workers/shard",
+			policy, atoiOr(rest["shards"], 2), workersLabel(spec.Threads))
+		text.WriteString(curve.TSV(title))
+		text.WriteByte('\n')
+	}
+	tr.Text = strings.TrimRight(text.String(), "\n")
+	return tr, nil
+}
+
+func atoiOr(s string, def int) int {
+	if n, err := strconv.Atoi(s); err == nil {
+		return n
+	}
+	return def
+}
+
+func workersLabel(threads int) string {
+	if threads <= 0 {
+		return "default"
+	}
+	return strconv.Itoa(threads)
+}
+
+// SweepConfig configures a per-policy cluster load sweep (a thin wrapper
+// over service.RunSweep pointed at cluster/point).
+type SweepConfig struct {
+	// Params are cluster/point params (policy, shards, mix, ...).
+	Params map[string]string
+	// Threads is the requested per-shard worker pool at every point.
+	Threads          int
+	Duration         sim.Time
+	Warmup           sim.Time
+	Seed             uint64
+	MinKops, MaxKops float64
+	Points           int
+	Parallel         int
+}
+
+// RunSweep measures one policy's throughput-latency curve.
+func RunSweep(sc SweepConfig) (service.Curve, error) {
+	return service.RunSweep(service.SweepConfig{
+		Scenario: "cluster/point",
+		Params:   sc.Params,
+		Threads:  sc.Threads, Duration: sc.Duration, Warmup: sc.Warmup,
+		Seed:    sc.Seed,
+		MinKops: sc.MinKops, MaxKops: sc.MaxKops, Points: sc.Points,
+		Parallel: sc.Parallel,
+	})
+}

@@ -1,11 +1,12 @@
 // Package scenarios links every scenario-providing package into a binary:
 // blank-importing it populates the harness registry with the lattester,
-// fio, lsmkv, pmem, pmemkv, service and figures scenarios. The cmd/* CLIs
-// and the top-level benchmarks import it so they all see one identical
-// registry.
+// fio, lsmkv, pmem, pmemkv, service, cluster and figures scenarios. The
+// cmd/* CLIs and the top-level benchmarks import it so they all see one
+// identical registry.
 package scenarios
 
 import (
+	_ "optanestudy/internal/cluster"
 	_ "optanestudy/internal/figures"
 	_ "optanestudy/internal/fio"
 	_ "optanestudy/internal/lattester"

@@ -27,16 +27,18 @@ type AppendLog struct {
 }
 
 // NewAppendLog carves region bytes of log per worker out of a fresh
-// namespace on the given media ("optane", "optane-ni" or "dram").
-func NewAppendLog(p *platform.Platform, media string, workers int, region int64) (*AppendLog, error) {
+// namespace on the spec's placement — media ("optane", "optane-ni" or
+// "dram"), socket and DIMM set; the rest of the spec is ignored. Sharded
+// clusters build one AppendLog per shard, pinned to the shard's DIMMs.
+func NewAppendLog(p *platform.Platform, bs BackendSpec, workers int, region int64) (*AppendLog, error) {
 	if workers < 1 || region < 4096 {
 		return nil, fmt.Errorf("service: bad append-log shape (%d workers, %d bytes)", workers, region)
 	}
-	bs := BackendSpec{Media: media}
+	bs.Keys = 0 // the log spec carries placement only, never a payload
 	if err := bs.normalize(); err != nil {
 		return nil, err
 	}
-	ns, err := bs.namespace(p, "serve-log")
+	ns, err := bs.namespace(p, "-log")
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"optanestudy/internal/platform"
 	"optanestudy/internal/pmemkv"
 	"optanestudy/internal/pmemobj"
+	"optanestudy/internal/topology"
 )
 
 // Backend is the KV engine a frontend serves requests against. Both
@@ -56,6 +57,18 @@ type BackendSpec struct {
 	// Media places the store: "optane" (interleaved), "optane-ni" (a single
 	// DIMM — the contention-study placement) or "dram".
 	Media string
+	// Socket is the socket whose DIMMs back the namespaces (and where the
+	// preload thread runs). Serving threads elsewhere pay the UPI remote
+	// penalty.
+	Socket int
+	// Channels optionally pins the store to an explicit DIMM set on Socket
+	// (interleave order); nil keeps the Media-derived default (all channels
+	// for "optane"/"dram", channel 0 for "optane-ni"). Cluster placement
+	// policies use this to carve per-shard DIMM sets.
+	Channels []int
+	// NamePrefix distinguishes the backing namespaces when several backends
+	// share a platform (one per shard); empty means "serve".
+	NamePrefix string
 	// Mode selects the lsmkv persistence strategy ("wal-posix", "wal-flex"
 	// or "pmem-memtable"); ignored by pmemkv.
 	Mode string
@@ -80,6 +93,9 @@ const lsmkvMemtableBytes = 8 << 20
 // normalize fills defaults and validates the namespace budget against the
 // preloaded payload.
 func (bs *BackendSpec) normalize() error {
+	if bs.NamePrefix == "" {
+		bs.NamePrefix = "serve"
+	}
 	if bs.PMBytes == 0 {
 		bs.PMBytes = 128 << 20
 	}
@@ -99,19 +115,33 @@ func (bs *BackendSpec) normalize() error {
 	return nil
 }
 
-// namespace carves the PM namespace; callers normalize the spec first
-// (NewAppendLog included), so PMBytes is always set here.
-func (bs BackendSpec) namespace(p *platform.Platform, name string) (*platform.Namespace, error) {
+// namespace carves the PM namespace on the spec's (socket, DIMM-set)
+// placement; callers normalize the spec first (NewAppendLog included), so
+// PMBytes and NamePrefix are always set here.
+func (bs BackendSpec) namespace(p *platform.Platform, suffix string) (*platform.Namespace, error) {
+	spec := topology.Spec{
+		Name:     bs.NamePrefix + suffix,
+		Socket:   bs.Socket,
+		Size:     bs.PMBytes,
+		Channels: bs.Channels,
+	}
 	switch bs.Media {
 	case "optane":
-		return p.Optane(name, 0, bs.PMBytes)
+		spec.Media = topology.MediaXP
 	case "optane-ni":
-		return p.OptaneNI(name, 0, 0, bs.PMBytes)
+		spec.Media = topology.MediaXP
+		if spec.Channels == nil {
+			spec.Channels = []int{0}
+		}
+		if len(spec.Channels) != 1 {
+			return nil, fmt.Errorf("service: optane-ni wants exactly one channel, got %v", spec.Channels)
+		}
 	case "dram":
-		return p.DRAM(name, 0, bs.PMBytes)
+		spec.Media = topology.MediaDRAM
 	default:
 		return nil, fmt.Errorf("service: unknown media %q (want optane, optane-ni or dram)", bs.Media)
 	}
+	return p.CreateNamespace(spec)
 }
 
 // emulateScan is the shared emulated range read: n point lookups of the
@@ -163,7 +193,7 @@ func NewPMemKV(p *platform.Platform, bs BackendSpec) (Backend, error) {
 	if err := bs.normalize(); err != nil {
 		return nil, err
 	}
-	ns, err := bs.namespace(p, "serve-kv")
+	ns, err := bs.namespace(p, "-kv")
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +203,7 @@ func NewPMemKV(p *platform.Platform, bs BackendSpec) (Backend, error) {
 	}
 	var m *pmemkv.CMap
 	var loadErr error
-	p.Go("serve-load", 0, func(ctx *platform.MemCtx) {
+	p.Go(bs.NamePrefix+"-load", bs.Socket, func(ctx *platform.MemCtx) {
 		m, loadErr = pmemkv.CreateCMap(ctx, pool, int(bs.Keys)*2)
 		if loadErr != nil {
 			return
@@ -241,17 +271,17 @@ func NewLSMKV(p *platform.Platform, bs BackendSpec) (Backend, error) {
 	default:
 		return nil, fmt.Errorf("service: unknown lsmkv mode %q", bs.Mode)
 	}
-	pm, err := bs.namespace(p, "serve-pm")
+	pm, err := bs.namespace(p, "-pm")
 	if err != nil {
 		return nil, err
 	}
-	dram, err := p.DRAM("serve-mem", 0, bs.DRAMBytes)
+	dram, err := p.DRAM(bs.NamePrefix+"-mem", bs.Socket, bs.DRAMBytes)
 	if err != nil {
 		return nil, err
 	}
 	var db *lsmkv.DB
 	var loadErr error
-	p.Go("serve-load", 0, func(ctx *platform.MemCtx) {
+	p.Go(bs.NamePrefix+"-load", bs.Socket, func(ctx *platform.MemCtx) {
 		db, loadErr = lsmkv.Open(ctx, lsmkv.Options{
 			Mode: mode, PM: pm, DRAM: dram, MemtableBytes: lsmkvMemtableBytes, Seed: 5,
 		})

@@ -112,6 +112,9 @@ func runPoint(spec harness.Spec) (harness.Trial, error) {
 	tenants := r.Int("tenants", 2)
 	theta := r.Float("theta", 0.99)
 	mix := r.Str("mix", "split")
+	hotFrac := r.Float("hotfrac", 0.9)
+	hotKeys := r.Int64("hotkeys", 0)
+	hotPeriod := r.Int64("hotperiod", 2000)
 	keys := r.Int64("keys", 200)
 	keySize := r.Int("keysize", 16)
 	valSize := r.Int("valsize", 128)
@@ -169,10 +172,13 @@ func runPoint(spec harness.Spec) (harness.Trial, error) {
 		if rec := int64(8 + keySize + valSize); region < 4*rec {
 			region = 4 * rec // oversized records: keep several per wrap
 		}
-		plog, err = NewAppendLog(p, media, spec.Threads, region)
+		plog, err = NewAppendLog(p, BackendSpec{Media: media}, spec.Threads, region)
 		if err != nil {
 			return harness.Trial{}, err
 		}
+	}
+	if hotKeys == 0 {
+		hotKeys = keys/20 + 1
 	}
 	tens := make([]Tenant, tenants)
 	for i := range tens {
@@ -186,8 +192,13 @@ func runPoint(spec harness.Spec) (harness.Trial, error) {
 			if i%2 == 0 {
 				tens[i].Theta = theta
 			}
+		case "hotspot":
+			// Every tenant draws from its own shifting hot window.
+			tens[i].HotFrac = hotFrac
+			tens[i].HotKeys = hotKeys
+			tens[i].HotPeriod = hotPeriod
 		default:
-			return harness.Trial{}, fmt.Errorf("service: unknown key mix %q (want zipf, uniform or split)", mix)
+			return harness.Trial{}, fmt.Errorf("service: unknown key mix %q (want zipf, uniform, split or hotspot)", mix)
 		}
 	}
 	res, err := Serve(Config{
@@ -221,6 +232,13 @@ func runPoint(spec harness.Spec) (harness.Trial, error) {
 		t := &res.Tenants[i]
 		m[fmt.Sprintf("t%d_p99_ns", i)] = t.Latency.Percentile(0.99)
 		m[fmt.Sprintf("t%d_drop_frac", i)] = dropFrac(t.Dropped, t.Offered)
+		// Per-tenant shed accounting appears once the run actually sheds,
+		// keeping the light-load baseline scenarios' output byte-stable
+		// while skewed overload runs show who gets dropped. The gate
+		// depends only on the result, never on the schedule.
+		if res.Dropped > 0 {
+			m[fmt.Sprintf("t%d_shed_ops", i)] = float64(t.Dropped)
+		}
 	}
 	return harness.Trial{
 		Ops:     res.Completed,
@@ -246,27 +264,7 @@ func runSweepScenario(spec harness.Spec) (harness.Trial, error) {
 	for k, v := range spec.Params {
 		rest[k] = v
 	}
-	gridFloat := func(key string, def float64) (float64, error) {
-		v, ok := rest[key]
-		if !ok {
-			return def, nil
-		}
-		delete(rest, key)
-		f, err := strconv.ParseFloat(v, 64)
-		if err != nil {
-			return 0, fmt.Errorf("param %s=%q: not a valid float", key, v)
-		}
-		return f, nil
-	}
-	minKops, err := gridFloat("minkops", 1000)
-	if err != nil {
-		return harness.Trial{}, err
-	}
-	maxKops, err := gridFloat("maxkops", 16000)
-	if err != nil {
-		return harness.Trial{}, err
-	}
-	pointsF, err := gridFloat("points", 6)
+	minKops, maxKops, pointsF, err := GridParams(rest, 1000, 16000, 6)
 	if err != nil {
 		return harness.Trial{}, err
 	}
@@ -304,16 +302,7 @@ func runSweepScenario(spec harness.Spec) (harness.Trial, error) {
 		if len(threadGrid) > 1 {
 			suffix = fmt.Sprintf("@t%d", threads)
 		}
-		knee := curve.KneeIndex()
-		tr.Metrics["knee_kops"+suffix] = curve[knee].OfferedKops
-		tr.Metrics["sat_kops"+suffix] = curve.SaturationKops()
-		tr.Metrics["p99_knee_ns"+suffix] = curve[knee].P99
-		tr.Metrics["p99_max_ns"+suffix] = curve[len(curve)-1].P99
-		for _, pt := range curve {
-			tr.Metrics[fmt.Sprintf("achieved@%g%s", pt.OfferedKops, suffix)] = pt.AchievedKops
-			tr.Metrics[fmt.Sprintf("p99@%g%s", pt.OfferedKops, suffix)] = pt.P99
-			tr.Ops++
-		}
+		EmitCurve(&tr, curve, suffix)
 		title := fmt.Sprintf("service sweep: %s, %d workers", backend, threads)
 		text.WriteString(curve.TSV(title))
 		text.WriteByte('\n')

@@ -56,6 +56,30 @@ type Tenant struct {
 	// Theta is the Zipfian skew of the tenant's key popularity, in (0, 1);
 	// 0 selects uniform.
 	Theta float64
+	// HotFrac > 0 selects a shifting-hotspot key mix instead (ignoring
+	// Theta): HotFrac of draws land in a window of HotKeys consecutive ids
+	// that relocates every HotPeriod draws (workload.ShiftingHotspot) —
+	// the moving-skew mix cluster sweeps use to drive load onto one shard
+	// at a time.
+	HotFrac   float64
+	HotKeys   int64
+	HotPeriod int64
+}
+
+// Shard is one dispatch target of a sharded serving run: its own backend,
+// bounded admission queue and worker pool, with the workers placed on an
+// explicit socket. The cluster layer builds one Shard per placement slot.
+type Shard struct {
+	Backend Backend
+	// Workers is this shard's pool size.
+	Workers int
+	// QueueCap bounds this shard's admission queue (default 32×Workers).
+	QueueCap int
+	// Socket places this shard's worker threads.
+	Socket int
+	// PutLog, when set, switches this shard's PUTs to write-behind logging
+	// on per-worker appenders (indexed by shard-local worker id).
+	PutLog *AppendLog
 }
 
 // Config configures one open-loop serving run.
@@ -89,6 +113,15 @@ type Config struct {
 	// the contention-study configuration. It must have at least Workers
 	// per-worker logs.
 	PutLog *AppendLog
+	// Shards, when non-empty, serves through shard-aware dispatch: the
+	// router sends each request to its shard's own bounded queue and
+	// worker pool. The flat Backend/Workers/QueueCap/PutLog fields must
+	// then be unset — every dispatch target is a Shard.
+	Shards []Shard
+	// Route maps a request's global key id to a shard index. Required when
+	// len(Shards) > 1; a single shard (or the flat configuration) routes
+	// everything to shard 0.
+	Route func(key int64) int
 	// Duration is the measured window; Warmup precedes it (requests
 	// arriving during warmup are served but not recorded).
 	Duration sim.Time
@@ -109,9 +142,26 @@ type TenantStats struct {
 	Latency *stats.Histogram
 }
 
+// ShardStats is one dispatch target's outcome over the measured window.
+type ShardStats struct {
+	Offered, Dropped, Completed int64
+	// Latency is the shard's end-to-end distribution; Result.Latency is
+	// the cross-shard stats.Histogram merge.
+	Latency *stats.Histogram
+	// WorkerBusy is the shard pool's cumulative in-service time.
+	WorkerBusy sim.Time
+	// QueueResidency integrates this shard's queue occupancy over time;
+	// MaxQueueLen is its high-water mark.
+	QueueResidency sim.Time
+	MaxQueueLen    int
+}
+
 // Result is the outcome of one serving run.
 type Result struct {
 	Tenants []TenantStats
+	// Shards is the per-dispatch-target breakdown; a flat single-backend
+	// run reports one entry.
+	Shards []ShardStats
 	// Latency merges every tenant's end-to-end histogram.
 	Latency *stats.Histogram
 	// Window is the measured window (= Config.Duration).
@@ -154,38 +204,51 @@ type keyGen struct {
 	base int64
 	n    int64
 	zipf *workload.Zipf
+	hot  *workload.ShiftingHotspot
 	rng  *sim.RNG
 }
 
 func (g *keyGen) next() int64 {
-	if g.zipf != nil {
+	switch {
+	case g.hot != nil:
+		return g.base + g.hot.Next()
+	case g.zipf != nil:
 		return g.base + g.zipf.Next()
 	}
 	return g.base + g.rng.Int63n(g.n)
 }
 
-// serveState is the dispatcher/worker shared state. Procs run one at a
-// time and only hand off at explicit time advances, so no locking.
-type serveState struct {
+// shardState is one shard's queue and accounting. Procs run one at a time
+// and only hand off at explicit time advances, so no locking.
+type shardState struct {
 	queue     []request
 	head      int
-	closed    bool
 	maxLen    int
 	residency sim.Time
 	busy      sim.Time
-	tenants   []TenantStats
+	offered   int64
+	dropped   int64
+	completed int64
+	latency   *stats.Histogram
 }
 
-func (s *serveState) qlen() int { return len(s.queue) - s.head }
+// serveState is the dispatcher/worker shared state.
+type serveState struct {
+	shards  []shardState
+	closed  bool
+	tenants []TenantStats
+}
 
-func (s *serveState) push(r request) {
+func (s *shardState) qlen() int { return len(s.queue) - s.head }
+
+func (s *shardState) push(r request) {
 	s.queue = append(s.queue, r)
 	if n := s.qlen(); n > s.maxLen {
 		s.maxLen = n
 	}
 }
 
-func (s *serveState) pop(now sim.Time) (request, bool) {
+func (s *shardState) pop(now sim.Time) (request, bool) {
 	if s.qlen() == 0 {
 		return request{}, false
 	}
@@ -200,19 +263,45 @@ func (s *serveState) pop(now sim.Time) (request, bool) {
 }
 
 // Serve runs one open-loop serving experiment on the platform. The
-// platform must already hold the preloaded backend; Serve spawns the
+// platform must already hold the preloaded backend(s); Serve spawns the
 // dispatcher and worker procs and runs the simulation to completion
 // (admitted requests are drained past the deadline so tails are not
 // truncated).
+//
+// Dispatch is shard-aware: with cfg.Shards set, the dispatcher routes each
+// request's key through cfg.Route to that shard's own bounded queue and
+// worker pool. The flat single-backend configuration is served through the
+// identical machinery as one shard — except that it draws a request's key
+// only after admission (routing is not needed to pick the queue), keeping
+// its per-tenant RNG streams, and therefore all pre-cluster scenario
+// results, exactly as they were before shards existed.
 func Serve(cfg Config) (*Result, error) {
-	if cfg.Platform == nil || cfg.Backend == nil {
+	if cfg.Platform == nil {
 		return nil, errors.New("service: platform and backend required")
+	}
+	sharded := len(cfg.Shards) > 0
+	shards := cfg.Shards
+	if sharded {
+		if cfg.Backend != nil || cfg.PutLog != nil || cfg.Workers != 0 || cfg.QueueCap != 0 {
+			return nil, errors.New("service: flat backend fields must be unset when Shards is given")
+		}
+		if len(shards) > 1 && cfg.Route == nil {
+			return nil, errors.New("service: a route function is required with more than one shard")
+		}
+	} else {
+		if cfg.Backend == nil {
+			return nil, errors.New("service: platform and backend required")
+		}
+		if cfg.Workers < 1 {
+			return nil, errors.New("service: at least one worker required")
+		}
+		shards = []Shard{{
+			Backend: cfg.Backend, Workers: cfg.Workers, QueueCap: cfg.QueueCap,
+			Socket: cfg.Socket, PutLog: cfg.PutLog,
+		}}
 	}
 	if cfg.Arrival == nil {
 		return nil, errors.New("service: arrival process required")
-	}
-	if cfg.Workers < 1 {
-		return nil, errors.New("service: at least one worker required")
 	}
 	if len(cfg.Tenants) == 0 {
 		return nil, errors.New("service: at least one tenant required")
@@ -224,8 +313,22 @@ func Serve(cfg Config) (*Result, error) {
 	if total <= 0 {
 		return nil, errors.New("service: op mix fractions must sum > 0")
 	}
-	if cfg.QueueCap < 1 {
-		cfg.QueueCap = 32 * cfg.Workers
+	caps := make([]int, len(shards))
+	for i := range shards {
+		sh := &shards[i]
+		if sh.Backend == nil {
+			return nil, fmt.Errorf("service: shard %d has no backend", i)
+		}
+		if sh.Workers < 1 {
+			return nil, fmt.Errorf("service: shard %d needs at least one worker", i)
+		}
+		if sh.PutLog != nil && sh.PutLog.Workers() < sh.Workers {
+			return nil, errors.New("service: append log has fewer per-worker logs than workers")
+		}
+		caps[i] = sh.QueueCap
+		if caps[i] < 1 {
+			caps[i] = 32 * sh.Workers
+		}
 	}
 	if cfg.ScanLen < 1 {
 		cfg.ScanLen = 16
@@ -235,15 +338,30 @@ func Serve(cfg Config) (*Result, error) {
 	}
 
 	p := cfg.Platform
-	st := &serveState{tenants: make([]TenantStats, len(cfg.Tenants))}
+	st := &serveState{
+		shards:  make([]shardState, len(shards)),
+		tenants: make([]TenantStats, len(cfg.Tenants)),
+	}
+	for i := range st.shards {
+		st.shards[i].latency = stats.NewHistogram()
+	}
 	gens := make([]*keyGen, len(cfg.Tenants))
 	for i, tn := range cfg.Tenants {
 		st.tenants[i] = TenantStats{Name: tn.Name, Latency: stats.NewHistogram()}
 		g := &keyGen{base: int64(i) * cfg.Keys, n: cfg.Keys}
-		if tn.Theta > 0 {
-			g.zipf = workload.NewZipf(cfg.Keys, tn.Theta, cfg.Seed+uint64(i)*7349+11)
-		} else {
-			g.rng = sim.NewRNG(cfg.Seed + uint64(i)*7349 + 11)
+		seed := cfg.Seed + uint64(i)*7349 + 11
+		switch {
+		case tn.HotFrac > 0:
+			hotKeys, period := tn.HotKeys, tn.HotPeriod
+			if hotKeys < 1 || hotKeys > cfg.Keys || period < 1 || tn.HotFrac > 1 {
+				return nil, fmt.Errorf("service: tenant %q has a bad hotspot mix (frac=%g keys=%d period=%d)",
+					tn.Name, tn.HotFrac, hotKeys, period)
+			}
+			g.hot = workload.NewShiftingHotspot(cfg.Keys, hotKeys, period, tn.HotFrac, seed)
+		case tn.Theta > 0:
+			g.zipf = workload.NewZipf(cfg.Keys, tn.Theta, seed)
+		default:
+			g.rng = sim.NewRNG(seed)
 		}
 		gens[i] = g
 	}
@@ -256,7 +374,9 @@ func Serve(cfg Config) (*Result, error) {
 	scanCut := (cfg.GetFrac + cfg.PutFrac + cfg.ScanFrac) / total
 
 	// Dispatcher: walks arrival timestamps, stamps each request with its
-	// tenant, op and key, and either admits it or sheds it.
+	// tenant, op and key, routes it to a shard, and either admits it to
+	// that shard's queue or sheds it.
+	var runErr error
 	p.Go("serve-arrivals", cfg.Socket, func(ctx *platform.MemCtx) {
 		proc := ctx.Proc()
 		pick := sim.NewRNG(cfg.Seed*0x9E37 + 0xA441)
@@ -285,13 +405,46 @@ func Serve(cfg Config) (*Result, error) {
 			if measured {
 				st.tenants[ti].Offered++
 			}
-			if st.qlen() >= cfg.QueueCap {
+			if sharded {
+				// Routing needs the key, so sharded dispatch draws it
+				// before the admission check (a shed request still
+				// consumed a draw — open-loop clients do not know the
+				// queue is full when they pick a key).
+				key := gens[ti].next()
+				si := 0
+				if cfg.Route != nil {
+					si = cfg.Route(key)
+				}
+				if si < 0 || si >= len(st.shards) {
+					runErr = fmt.Errorf("service: route sent key %d to shard %d of %d", key, si, len(st.shards))
+					break
+				}
+				sh := &st.shards[si]
+				if measured {
+					sh.offered++
+				}
+				if sh.qlen() >= caps[si] {
+					if measured {
+						st.tenants[ti].Dropped++
+						sh.dropped++
+					}
+					continue
+				}
+				sh.push(request{tenant: ti, op: op, key: key, arrival: t, measured: measured})
+				continue
+			}
+			sh := &st.shards[0]
+			if measured {
+				sh.offered++
+			}
+			if sh.qlen() >= caps[0] {
 				if measured {
 					st.tenants[ti].Dropped++
+					sh.dropped++
 				}
 				continue
 			}
-			st.push(request{
+			sh.push(request{
 				tenant: ti, op: op, key: gens[ti].next(),
 				arrival: t, measured: measured,
 			})
@@ -299,52 +452,71 @@ func Serve(cfg Config) (*Result, error) {
 		st.closed = true
 	})
 
-	// Workers: pop-execute loops. An idle worker re-polls the queue every
-	// cfg.Poll; after the dispatcher closes, workers drain the backlog so
-	// admitted requests always complete.
-	if cfg.PutLog != nil && cfg.PutLog.Workers() < cfg.Workers {
-		return nil, errors.New("service: append log has fewer per-worker logs than workers")
-	}
-	var execErr error
-	for w := 0; w < cfg.Workers; w++ {
-		w := w
-		p.Go(fmt.Sprintf("serve-worker%d", w), cfg.Socket, func(ctx *platform.MemCtx) {
-			proc := ctx.Proc()
-			for execErr == nil {
-				req, ok := st.pop(proc.Now())
-				if !ok {
-					if st.closed {
+	// Workers: per-shard pop-execute loops. An idle worker re-polls its
+	// shard's queue every cfg.Poll; after the dispatcher closes, workers
+	// drain the backlog so admitted requests always complete.
+	for si := range shards {
+		si := si
+		shard := &shards[si]
+		sh := &st.shards[si]
+		for w := 0; w < shard.Workers; w++ {
+			w := w
+			name := fmt.Sprintf("serve-worker%d", w)
+			if sharded {
+				name = fmt.Sprintf("serve-s%dw%d", si, w)
+			}
+			p.Go(name, shard.Socket, func(ctx *platform.MemCtx) {
+				proc := ctx.Proc()
+				for runErr == nil {
+					req, ok := sh.pop(proc.Now())
+					if !ok {
+						if st.closed {
+							return
+						}
+						proc.Sleep(cfg.Poll)
+						continue
+					}
+					t0 := proc.Now()
+					if err := execute(ctx, cfg, shard, w, req); err != nil {
+						runErr = err
 						return
 					}
-					proc.Sleep(cfg.Poll)
-					continue
+					t1 := proc.Now()
+					sh.busy += t1 - t0
+					if req.measured {
+						lat := (t1 - req.arrival).Nanoseconds()
+						st.tenants[req.tenant].Latency.Add(lat)
+						st.tenants[req.tenant].Completed++
+						sh.completed++
+						sh.latency.Add(lat)
+					}
 				}
-				t0 := proc.Now()
-				if err := execute(ctx, cfg, w, req); err != nil {
-					execErr = err
-					return
-				}
-				t1 := proc.Now()
-				st.busy += t1 - t0
-				if req.measured {
-					st.tenants[req.tenant].Latency.Add((t1 - req.arrival).Nanoseconds())
-					st.tenants[req.tenant].Completed++
-				}
-			}
-		})
+			})
+		}
 	}
 	p.Run()
-	if execErr != nil {
-		return nil, execErr
+	if runErr != nil {
+		return nil, runErr
 	}
 
 	res := &Result{
-		Tenants:        st.tenants,
-		Latency:        stats.NewHistogram(),
-		Window:         cfg.Duration,
-		WorkerBusy:     st.busy,
-		QueueResidency: st.residency,
-		MaxQueueLen:    st.maxLen,
+		Tenants: st.tenants,
+		Shards:  make([]ShardStats, len(st.shards)),
+		Latency: stats.NewHistogram(),
+		Window:  cfg.Duration,
+	}
+	for i := range st.shards {
+		sh := &st.shards[i]
+		res.Shards[i] = ShardStats{
+			Offered: sh.offered, Dropped: sh.dropped, Completed: sh.completed,
+			Latency: sh.latency, WorkerBusy: sh.busy,
+			QueueResidency: sh.residency, MaxQueueLen: sh.maxLen,
+		}
+		res.WorkerBusy += sh.busy
+		res.QueueResidency += sh.residency
+		if sh.maxLen > res.MaxQueueLen {
+			res.MaxQueueLen = sh.maxLen
+		}
 	}
 	for i := range st.tenants {
 		res.Offered += st.tenants[i].Offered
@@ -357,23 +529,24 @@ func Serve(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// execute runs one request against the backend. A SCAN goes through
-// Backend.Scan — lsmkv's native sorted merge walk, or the emulated
+// execute runs one request against its shard's backend. A SCAN goes
+// through Backend.Scan — lsmkv's native sorted merge walk, or the emulated
 // consecutive point reads wrapping inside the tenant's keyspace shard.
-func execute(ctx *platform.MemCtx, cfg Config, worker int, req request) error {
+// worker is the shard-local worker id (the PutLog appender index).
+func execute(ctx *platform.MemCtx, cfg Config, shard *Shard, worker int, req request) error {
 	switch req.op {
 	case OpGet:
-		cfg.Backend.Get(ctx, KeyFor(req.key, cfg.KeySize))
+		shard.Backend.Get(ctx, KeyFor(req.key, cfg.KeySize))
 		return nil
 	case OpPut:
-		if cfg.PutLog != nil {
-			return cfg.PutLog.Append(ctx, worker, KeyFor(req.key, cfg.KeySize), ValFor(req.key+1, cfg.ValSize))
+		if shard.PutLog != nil {
+			return shard.PutLog.Append(ctx, worker, KeyFor(req.key, cfg.KeySize), ValFor(req.key+1, cfg.ValSize))
 		}
-		return cfg.Backend.Put(ctx, KeyFor(req.key, cfg.KeySize), ValFor(req.key+1, cfg.ValSize))
+		return shard.Backend.Put(ctx, KeyFor(req.key, cfg.KeySize), ValFor(req.key+1, cfg.ValSize))
 	case OpDel:
-		return cfg.Backend.Delete(ctx, KeyFor(req.key, cfg.KeySize))
+		return shard.Backend.Delete(ctx, KeyFor(req.key, cfg.KeySize))
 	default:
-		cfg.Backend.Scan(ctx, KeyFor(req.key, cfg.KeySize), cfg.ScanLen)
+		shard.Backend.Scan(ctx, KeyFor(req.key, cfg.KeySize), cfg.ScanLen)
 		return nil
 	}
 }

@@ -184,7 +184,7 @@ func TestServeDeterministic(t *testing.T) {
 
 func TestAppendLog(t *testing.T) {
 	p := testPlatform(t)
-	l, err := NewAppendLog(p, "dram", 2, 4096)
+	l, err := NewAppendLog(p, BackendSpec{Media: "dram"}, 2, 4096)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,10 +210,10 @@ func TestAppendLog(t *testing.T) {
 	if appendErr != nil {
 		t.Fatal(appendErr)
 	}
-	if _, err := NewAppendLog(p, "bogus", 1, 4096); err == nil {
+	if _, err := NewAppendLog(p, BackendSpec{Media: "bogus"}, 1, 4096); err == nil {
 		t.Fatal("bad media must error")
 	}
-	if _, err := NewAppendLog(p, "dram", 1, 100); err == nil {
+	if _, err := NewAppendLog(p, BackendSpec{Media: "dram"}, 1, 100); err == nil {
 		t.Fatal("tiny region must error")
 	}
 }

@@ -19,6 +19,11 @@ import (
 type SweepConfig struct {
 	// Backend is "pmemkv" or "lsmkv".
 	Backend string
+	// Scenario is the point scenario the sweep drives; empty means
+	// "service/kv/"+Backend. The cluster layer points it at its own
+	// shard-aware point scenario ("cluster/point") to reuse the identical
+	// grid/knee machinery.
+	Scenario string
 	// Params are extra point-scenario params (media, arrival, mix, ...).
 	Params map[string]string
 	// Threads is the worker-pool size at every point.
@@ -50,6 +55,10 @@ type Point struct {
 	P50, P95, P99, P999 float64
 	// Util is the worker pool's busy fraction.
 	Util float64
+	// Metrics is the point trial's full metric map (per-tenant shed
+	// counts, per-shard breakdowns, ...) for callers that aggregate more
+	// than the curve fields.
+	Metrics map[string]float64
 }
 
 // Curve is a throughput-latency curve, in ascending offered-load order.
@@ -74,6 +83,9 @@ func RunSweep(sc SweepConfig) (Curve, error) {
 	if sc.Backend == "" {
 		sc.Backend = "pmemkv"
 	}
+	if sc.Scenario == "" {
+		sc.Scenario = "service/kv/" + sc.Backend
+	}
 	if sc.MinKops <= 0 || sc.MaxKops < sc.MinKops {
 		return nil, fmt.Errorf("service: bad sweep grid [%g, %g]", sc.MinKops, sc.MaxKops)
 	}
@@ -86,7 +98,7 @@ func RunSweep(sc SweepConfig) (Curve, error) {
 		}
 		params["offered"] = strconv.FormatFloat(kops, 'g', -1, 64)
 		specs[i] = harness.Spec{
-			Scenario: "service/kv/" + sc.Backend,
+			Scenario: sc.Scenario,
 			Params:   params,
 			Threads:  sc.Threads,
 			Duration: sc.Duration,
@@ -110,9 +122,57 @@ func RunSweep(sc SweepConfig) (Curve, error) {
 			P99:          m["p99_ns"],
 			P999:         m["p999_ns"],
 			Util:         m["util"],
+			Metrics:      m,
 		}
 	}
 	return curve, nil
+}
+
+// GridParams consumes the sweep grid params ("minkops", "maxkops",
+// "points") from params — leaving everything else for the point scenario —
+// and returns the grid bounds, falling back to the given defaults. Both
+// the service and cluster sweep scenarios parse their grids through this
+// one helper so they can never drift.
+func GridParams(params map[string]string, defMin, defMax, defPoints float64) (minKops, maxKops, points float64, err error) {
+	take := func(key string, def float64) (float64, error) {
+		v, ok := params[key]
+		if !ok {
+			return def, nil
+		}
+		delete(params, key)
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, fmt.Errorf("param %s=%q: not a valid float", key, v)
+		}
+		return f, nil
+	}
+	if minKops, err = take("minkops", defMin); err != nil {
+		return 0, 0, 0, err
+	}
+	if maxKops, err = take("maxkops", defMax); err != nil {
+		return 0, 0, 0, err
+	}
+	if points, err = take("points", defPoints); err != nil {
+		return 0, 0, 0, err
+	}
+	return minKops, maxKops, points, nil
+}
+
+// EmitCurve folds one measured curve into a trial: the knee and saturation
+// summary plus per-point achieved/p99 metrics, all under an optional key
+// suffix (used when one scenario races several grids), counting one op per
+// point.
+func EmitCurve(tr *harness.Trial, c Curve, suffix string) {
+	knee := c.KneeIndex()
+	tr.Metrics["knee_kops"+suffix] = c[knee].OfferedKops
+	tr.Metrics["sat_kops"+suffix] = c.SaturationKops()
+	tr.Metrics["p99_knee_ns"+suffix] = c[knee].P99
+	tr.Metrics["p99_max_ns"+suffix] = c[len(c)-1].P99
+	for _, pt := range c {
+		tr.Metrics[fmt.Sprintf("achieved@%g%s", pt.OfferedKops, suffix)] = pt.AchievedKops
+		tr.Metrics[fmt.Sprintf("p99@%g%s", pt.OfferedKops, suffix)] = pt.P99
+		tr.Ops++
+	}
 }
 
 // KneeIndex locates the saturation knee: the last grid point still keeping

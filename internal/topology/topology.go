@@ -31,6 +31,52 @@ func (g Geometry) Validate() error {
 	return nil
 }
 
+// SLIT-style NUMA distances: accesses on the home socket cost DistanceLocal,
+// accesses that cross the UPI link cost DistanceRemote (the ratio mirrors
+// the kernel's conventional 10/21 table for two-socket Cascade Lake).
+const (
+	DistanceLocal  = 10
+	DistanceRemote = 21
+)
+
+// Distance returns the SLIT-style distance between two sockets. Placement
+// code uses it to rank candidate (socket, DIMM-set) homes for a shard
+// relative to where its clients run.
+func (g Geometry) Distance(from, to int) int {
+	if from < 0 || from >= g.Sockets || to < 0 || to >= g.Sockets {
+		panic(fmt.Sprintf("topology: socket pair (%d, %d) outside geometry %+v", from, to, g))
+	}
+	if from == to {
+		return DistanceLocal
+	}
+	return DistanceRemote
+}
+
+// Remote reports whether an access from one socket to the other crosses the
+// UPI link (the paper's fig. 18/19 penalty applies).
+func (g Geometry) Remote(from, to int) bool {
+	return g.Distance(from, to) > DistanceLocal
+}
+
+// ChannelIDs enumerates the socket-relative channel ids of one socket —
+// one XP DIMM and one DRAM DIMM hang off each — in interleave order.
+func (g Geometry) ChannelIDs() []int {
+	ids := make([]int, g.ChannelsPerSocket)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// SocketIDs enumerates the socket ids.
+func (g Geometry) SocketIDs() []int {
+	ids := make([]int, g.Sockets)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
 // Media selects which DIMM kind a namespace lives on.
 type Media int
 

@@ -143,6 +143,70 @@ func TestLayoutRejectsBadSpecs(t *testing.T) {
 	}
 }
 
+// The enumeration and distance lookups are what placement policies build
+// on: every socket and channel must be visible, and the local-vs-remote
+// split must match the paper's two-socket UPI topology.
+
+func TestGeometryEnumeration(t *testing.T) {
+	g := DefaultGeometry()
+	if got := g.SocketIDs(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("SocketIDs() = %v, want [0 1]", got)
+	}
+	chans := g.ChannelIDs()
+	if len(chans) != 6 {
+		t.Fatalf("ChannelIDs() has %d entries, want 6", len(chans))
+	}
+	for i, c := range chans {
+		if c != i {
+			t.Fatalf("ChannelIDs()[%d] = %d, want %d (interleave order)", i, c, i)
+		}
+	}
+	// Enumerations return fresh slices: mutating one must not corrupt the
+	// geometry for the next caller.
+	chans[0] = 99
+	if g.ChannelIDs()[0] != 0 {
+		t.Fatal("ChannelIDs aliases shared state")
+	}
+}
+
+func TestDistanceLookups(t *testing.T) {
+	g := DefaultGeometry()
+	for _, s := range g.SocketIDs() {
+		if d := g.Distance(s, s); d != DistanceLocal {
+			t.Errorf("Distance(%d, %d) = %d, want local %d", s, s, d, DistanceLocal)
+		}
+		if g.Remote(s, s) {
+			t.Errorf("Remote(%d, %d) = true on the home socket", s, s)
+		}
+	}
+	if d := g.Distance(0, 1); d != DistanceRemote {
+		t.Errorf("Distance(0, 1) = %d, want remote %d", d, DistanceRemote)
+	}
+	if g.Distance(0, 1) != g.Distance(1, 0) {
+		t.Error("distance is not symmetric")
+	}
+	if !g.Remote(0, 1) || !g.Remote(1, 0) {
+		t.Error("cross-socket access must be remote")
+	}
+	if DistanceRemote <= DistanceLocal {
+		t.Error("remote distance must exceed local")
+	}
+}
+
+func TestDistanceRejectsBadSockets(t *testing.T) {
+	g := DefaultGeometry()
+	for _, pair := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Distance(%d, %d) accepted an out-of-range socket", pair[0], pair[1])
+				}
+			}()
+			g.Distance(pair[0], pair[1])
+		}()
+	}
+}
+
 func TestSizeRoundsToStripe(t *testing.T) {
 	l := layout(t)
 	ns, _ := l.Create(Spec{Name: "r", Socket: 0, Media: MediaXP, Size: 1000})

@@ -200,6 +200,78 @@ func TestPatternScheduleDeterministic(t *testing.T) {
 	}
 }
 
+func TestShiftingHotspotDeterministic(t *testing.T) {
+	a := NewShiftingHotspot(100000, 500, 1000, 0.9, 21)
+	b := NewShiftingHotspot(100000, 500, 1000, 0.9, 21)
+	for i := 0; i < 10000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("sample %d: %d vs %d — same seed diverged", i, x, y)
+		}
+	}
+	c := NewShiftingHotspot(100000, 500, 1000, 0.9, 22)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("different seeds produced an identical hotspot stream")
+	}
+}
+
+func TestShiftingHotspotSkewAndRange(t *testing.T) {
+	const n, hot, period = 100000, 500, 2000
+	s := NewShiftingHotspot(n, hot, period, 0.9, 7)
+	base := s.Base()
+	inHot, draws := 0, 0
+	for i := 0; i < period; i++ {
+		v := s.Next()
+		if v < 0 || v >= n {
+			t.Fatalf("draw %d out of range: %d", i, v)
+		}
+		draws++
+		if v >= base && v < base+hot {
+			inHot++
+		}
+	}
+	// ~90% of draws sit inside the 0.5% hot window while it is stationary.
+	if frac := float64(inHot) / float64(draws); frac < 0.8 {
+		t.Errorf("hot-window share = %.3f, want >= 0.8", frac)
+	}
+}
+
+func TestShiftingHotspotMoves(t *testing.T) {
+	const period = 500
+	s := NewShiftingHotspot(1_000_000, 100, period, 1, 3)
+	bases := map[int64]bool{s.Base(): true}
+	prev := s.Base()
+	var moves []int
+	for i := 1; i <= 8*period+1; i++ {
+		s.Next()
+		if b := s.Base(); b != prev {
+			moves = append(moves, i)
+			prev = b
+			bases[b] = true
+		}
+	}
+	// The window relocates on the first draw after each full period: calls
+	// period+1, 2·period+1, ... (a move to the same base is astronomically
+	// unlikely over a million ids and this seed does not hit one).
+	if len(moves) != 8 {
+		t.Fatalf("saw %d moves over 8 periods, want 8 (at %v)", len(moves), moves)
+	}
+	for j, at := range moves {
+		if want := (j+1)*period + 1; at != want {
+			t.Fatalf("move %d at draw %d, want %d — relocation not period-aligned", j, at, want)
+		}
+	}
+	// Seeded-uniform bases must visit distinct windows.
+	if len(bases) < 5 {
+		t.Errorf("only %d distinct hot windows over 8 periods", len(bases))
+	}
+}
+
 func TestRecordGenDeterministic(t *testing.T) {
 	for _, mk := range []struct {
 		name string
