@@ -1,13 +1,16 @@
 // Command servebench drives open-loop traffic against the KV backends
 // through the unified harness: single load points (service/kv/pmemkv,
-// service/kv/lsmkv) and load sweeps that trace the throughput-vs-tail-
-// latency curve and its saturation knee (service/kv/sweep-*).
+// service/kv/lsmkv), load sweeps that trace the throughput-vs-tail-
+// latency curve and its saturation knee (service/kv/sweep-*), and the
+// group-commit batch family (service/batch/*) that amortizes one fence
+// across a whole drained batch of PUTs.
 //
 // Usage:
 //
 //	servebench -list
 //	servebench 'service/kv/sweep-pmemkv'
 //	servebench -threads 4 -p arrival=burst -p offered=2000 service/kv/pmemkv
+//	servebench -batch 8 -linger 1000 service/batch/point
 //	servebench -format=json -deterministic 'service/kv/*'
 package main
 

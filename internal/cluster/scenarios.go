@@ -8,6 +8,7 @@ import (
 
 	"optanestudy/internal/harness"
 	"optanestudy/internal/platform"
+	"optanestudy/internal/pmem"
 	"optanestudy/internal/service"
 	"optanestudy/internal/sim"
 )
@@ -91,6 +92,29 @@ func init() {
 		},
 		Run: runClusterSweep,
 	})
+	// The batch preset repeats the capped single-DIMM layout at group-commit
+	// depths 1/8/32: the depth-1 leg reproduces the unbatched curve
+	// byte-identically (no batch params are injected for it, so its point
+	// specs and seeds are unchanged), while the deeper legs amortize the
+	// per-PUT fence across the drained group — fences/op drops toward
+	// 1/depth and the saturation knee moves to higher offered load, at the
+	// price of up to `batchlinger` ns of added latency at light load.
+	harness.Register(harness.Scenario{
+		Name: "cluster/sweep-batch",
+		Doc:  "group-commit depth sweep (1/8/32) on the capped single-DIMM layout",
+		Defaults: harness.Defaults{
+			Threads: 16, Duration: 300 * sim.Microsecond, Seed: 55,
+			Params: map[string]string{
+				"policy": PolicyCapped,
+				"shards": "2", "dimms": "1", "capdimm": "4",
+				"putlog": "1", "keysize": "8", "valsize": "112",
+				"get": "0.3", "put": "0.7", "scan": "0",
+				"minkops": "6000", "maxkops": "42000", "points": "7",
+				"batchgrid": "1,8,32", "batchlinger": "1000",
+			},
+		},
+		Run: runClusterSweep,
+	})
 }
 
 // runClusterPoint measures one open-loop load level through the cluster.
@@ -126,10 +150,18 @@ func runClusterPoint(spec harness.Spec) (harness.Trial, error) {
 	putlog := r.Bool("putlog", false)
 	qcap := r.Int("qcap", 0)
 	pollNS := r.Float("poll", 200)
+	batch := r.Int("batch", 1)
+	lingerNS := r.Float("linger", 0)
 	pmBytes := r.Int64("pmbytes", 0)
 	dramBytes := r.Int64("drambytes", 0)
 	if err := r.Err(); err != nil {
 		return harness.Trial{}, err
+	}
+	if batch < 1 {
+		return harness.Trial{}, fmt.Errorf("cluster: batch size must be >= 1, got %d", batch)
+	}
+	if lingerNS < 0 {
+		return harness.Trial{}, fmt.Errorf("cluster: linger must be >= 0 ns, got %g", lingerNS)
 	}
 	var nativeScan bool
 	switch scanMode {
@@ -211,6 +243,7 @@ func runClusterPoint(spec harness.Spec) (harness.Trial, error) {
 		ScanLen:  scanLen,
 		Duration: spec.Duration, Warmup: spec.Warmup,
 		Poll: sim.Nanos(pollNS), Seed: spec.Seed,
+		BatchSize: batch, BatchLinger: sim.Nanos(lingerNS),
 	})
 	if err != nil {
 		return harness.Trial{}, err
@@ -255,6 +288,19 @@ func runClusterPoint(spec harness.Spec) (harness.Trial, error) {
 			m[fmt.Sprintf("t%d_shed_ops", i)] = float64(t.Dropped)
 		}
 	}
+	// Fence-amortization readout across every shard's append logs, gated
+	// on the batch path being on (batch=1 keeps pre-batching scenario
+	// output byte-stable).
+	if batch > 1 && putlog {
+		var c pmem.Counters
+		for i := range cl.Shards {
+			if pl := cl.Shards[i].PutLog; pl != nil {
+				cc := pl.Counters()
+				c.Merge(&cc)
+			}
+		}
+		c.Metrics(m)
+	}
 	return harness.Trial{
 		Ops:     res.Completed,
 		Sim:     res.Window,
@@ -294,47 +340,64 @@ func runClusterSweep(spec harness.Spec) (harness.Trial, error) {
 			policies = append(policies, strings.TrimSpace(s))
 		}
 	}
+	batchGrid, linger, err := service.BatchGridParams(rest)
+	if err != nil {
+		return harness.Trial{}, err
+	}
 
 	tr := harness.Trial{Metrics: make(map[string]float64)}
 	var text strings.Builder
 	for _, policy := range policies {
-		params := make(map[string]string, len(rest))
-		for k, v := range rest {
-			params[k] = v
-		}
-		params["policy"] = policy
-		curve, err := RunSweep(SweepConfig{
-			Params:  params,
-			Threads: spec.Threads, Duration: spec.Duration, Warmup: spec.Warmup,
-			Seed:    spec.Seed,
-			MinKops: minKops, MaxKops: maxKops, Points: int(pointsF),
-			Parallel: spec.Parallel,
-		})
-		if err != nil {
-			return harness.Trial{}, err
-		}
-		suffix := ""
-		if len(policies) > 1 {
-			suffix = "@" + policy
-		}
-		service.EmitCurve(&tr, curve, suffix)
-		// Deep-overload shed accounting: who gets dropped at the top of
-		// the grid (per-tenant keys appear only once the point sheds).
-		deep := curve[len(curve)-1].Metrics
-		var shedKeys []string
-		for k := range deep {
-			if strings.HasSuffix(k, "_shed_ops") {
-				shedKeys = append(shedKeys, k)
+		for _, batch := range batchGrid {
+			params := make(map[string]string, len(rest)+3)
+			for k, v := range service.BatchLegParams(rest, batch, linger) {
+				params[k] = v
 			}
+			params["policy"] = policy
+			curve, err := RunSweep(SweepConfig{
+				Params:  params,
+				Threads: spec.Threads, Duration: spec.Duration, Warmup: spec.Warmup,
+				Seed:    spec.Seed,
+				MinKops: minKops, MaxKops: maxKops, Points: int(pointsF),
+				Parallel: spec.Parallel,
+			})
+			if err != nil {
+				return harness.Trial{}, err
+			}
+			suffix := ""
+			if len(policies) > 1 {
+				suffix = "@" + policy
+			}
+			if len(batchGrid) > 1 {
+				suffix += fmt.Sprintf("@b%d", batch)
+			}
+			service.EmitCurve(&tr, curve, suffix)
+			// Fence amortization at the deepest grid point, present on the
+			// group-commit legs only.
+			if f, ok := curve[len(curve)-1].Metrics["pmem_fence_per_op"]; ok {
+				tr.Metrics["fence_per_op_deep"+suffix] = f
+			}
+			// Deep-overload shed accounting: who gets dropped at the top of
+			// the grid (per-tenant keys appear only once the point sheds).
+			deep := curve[len(curve)-1].Metrics
+			var shedKeys []string
+			for k := range deep {
+				if strings.HasSuffix(k, "_shed_ops") {
+					shedKeys = append(shedKeys, k)
+				}
+			}
+			sort.Strings(shedKeys)
+			for _, k := range shedKeys {
+				tr.Metrics[k+suffix] = deep[k]
+			}
+			title := fmt.Sprintf("cluster sweep: policy %s, %d shards, %s workers/shard",
+				policy, atoiOr(rest["shards"], 2), workersLabel(spec.Threads))
+			if len(batchGrid) > 1 {
+				title += fmt.Sprintf(", batch %d", batch)
+			}
+			text.WriteString(curve.TSV(title))
+			text.WriteByte('\n')
 		}
-		sort.Strings(shedKeys)
-		for _, k := range shedKeys {
-			tr.Metrics[k+suffix] = deep[k]
-		}
-		title := fmt.Sprintf("cluster sweep: policy %s, %d shards, %s workers/shard",
-			policy, atoiOr(rest["shards"], 2), workersLabel(spec.Threads))
-		text.WriteString(curve.TSV(title))
-		text.WriteByte('\n')
 	}
 	tr.Text = strings.TrimRight(text.String(), "\n")
 	return tr, nil

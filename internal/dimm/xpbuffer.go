@@ -21,6 +21,7 @@ type xpBuffer struct {
 	head      *xpEntry // most recently used
 	tail      *xpEntry // least recently used
 	liveCount int
+	free      *xpEntry // recycled entries, chained through next
 
 	inflight     []sim.Time
 	inflightHead int
@@ -71,9 +72,18 @@ func (b *xpBuffer) unlink(e *xpEntry) {
 	e.prev, e.next = nil, nil
 }
 
-// insert adds a fresh entry at MRU. The caller must have ensured space.
+// insert adds a fresh entry at MRU, recycling a removed entry when one is
+// available so steady-state buffer churn (the log workloads' insert/evict
+// treadmill over ever-new XPLine addresses) allocates nothing. The caller
+// must have ensured space.
 func (b *xpBuffer) insert(line int64) *xpEntry {
-	e := &xpEntry{line: line}
+	e := b.free
+	if e != nil {
+		b.free = e.next
+		*e = xpEntry{line: line}
+	} else {
+		e = &xpEntry{line: line}
+	}
 	b.entries[line] = e
 	b.pushFront(e)
 	b.liveCount++
@@ -81,11 +91,14 @@ func (b *xpBuffer) insert(line int64) *xpEntry {
 }
 
 // remove deletes e from the live set (slot accounting is the caller's job:
-// dirty evictions must be re-registered via addInflight).
+// dirty evictions must be re-registered via addInflight) and parks it on
+// the free list. Callers may still read e's fields until the next insert,
+// which is when the slot is reused.
 func (b *xpBuffer) remove(e *xpEntry) {
 	delete(b.entries, e.line)
 	b.unlink(e)
 	b.liveCount--
+	e.next, b.free = b.free, e
 }
 
 // lru returns the least-recently-used live entry.

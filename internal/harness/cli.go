@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"optanestudy/internal/sim"
@@ -72,6 +73,8 @@ func CLIMain(argv []string, opts CLIOptions) int {
 	ops := fs.Int("ops", 0, "operation budget for count-style scenarios (0 = default)")
 	seed := fs.Uint64("seed", 0, "base RNG seed (0 = scenario default); trial seeds derive from it and the resolved spec")
 	det := fs.Bool("deterministic", false, "suppress wall-clock fields so repeated and parallel runs are byte-identical")
+	batch := fs.Int("batch", 0, "group-commit batch depth for serving scenarios (0 = scenario default; shorthand for -p batch=N)")
+	lingerNS := fs.Float64("linger", -1, "group-commit linger bound in ns for serving scenarios (negative = scenario default; shorthand for -p linger=NS)")
 	params := paramFlag{}
 	fs.Var(params, "p", "scenario param as key=value (repeatable)")
 
@@ -80,6 +83,14 @@ func CLIMain(argv []string, opts CLIOptions) int {
 			return 0
 		}
 		return 2
+	}
+	// The batch flags are param shorthands: they fold into the param map
+	// (and so into derived trial seeds) exactly as their -p spellings would.
+	if *batch > 0 {
+		params["batch"] = strconv.Itoa(*batch)
+	}
+	if *lingerNS >= 0 {
+		params["linger"] = strconv.FormatFloat(*lingerNS, 'g', -1, 64)
 	}
 
 	globs := fs.Args()

@@ -1,0 +1,287 @@
+package pmem
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"optanestudy/internal/platform"
+)
+
+// A committed batch must be durable and replayable: contents exact, one
+// fence per batch, and the amortization counters consistent.
+func TestAppendBatchBasic(t *testing.T) {
+	p, ns := testPlatform(t)
+	reg, err := NewRegion(ns, 0, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewPersister(NTStream)
+	a := NewAppender(reg, w)
+	var recs [][]byte
+	var offs []int64
+	p.Go("w", 0, func(ctx *platform.MemCtx) {
+		for b := 0; b < 2; b++ {
+			a.Begin()
+			for i := 0; i < 3+b; i++ { // batches of 3 and 4
+				rec := pattern(uint64(b*10+i), 100+i)
+				recs = append(recs, rec)
+				off, err := a.Add(ctx, rec)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				offs = append(offs, off)
+			}
+			if err := a.Commit(ctx); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		// API misuse must error without corrupting the stream.
+		if _, err := a.Add(ctx, []byte("x")); err == nil {
+			t.Error("Add without Begin accepted")
+		}
+		if err := a.Commit(ctx); err == nil {
+			t.Error("Commit without Begin accepted")
+		}
+		a.Begin()
+		if _, err := a.Append(ctx, []byte("x")); err == nil {
+			t.Error("Append inside an open batch accepted")
+		}
+		if err := a.Commit(ctx); err != nil { // empty batch: no-op
+			t.Error(err)
+		}
+	})
+	p.Run()
+	p.Crash()
+	for i, rec := range recs {
+		got := make([]byte, len(rec))
+		reg.ReadDurable(offs[i], got)
+		if !bytes.Equal(got, rec) {
+			t.Fatalf("record %d not durable at %d", i, offs[i])
+		}
+	}
+	var replayed [][]byte
+	batches, n := RecoverBatches(reg, func(rec []byte) {
+		replayed = append(replayed, append([]byte(nil), rec...))
+	})
+	if batches != 2 || n != len(recs) {
+		t.Fatalf("recovered %d batches / %d records, want 2 / %d", batches, n, len(recs))
+	}
+	for i, rec := range replayed {
+		if !bytes.Equal(rec, recs[i]) {
+			t.Fatalf("replayed record %d differs", i)
+		}
+	}
+	// One fence per batch; the empty commit must not have fenced.
+	if w.C.Fences != 2 || w.C.Batches != 2 || w.C.BatchOps != 7 {
+		t.Fatalf("fences/batches/ops = %d/%d/%d, want 2/2/7", w.C.Fences, w.C.Batches, w.C.BatchOps)
+	}
+	m := map[string]float64{}
+	w.C.Metrics(m)
+	if got := m["pmem_fence_per_op"]; got != 2.0/7.0 {
+		t.Errorf("pmem_fence_per_op = %v, want %v", got, 2.0/7.0)
+	}
+}
+
+// A batch that would cross the region end wraps as a whole at Commit so
+// the committed frame sequence stays contiguous and durable.
+func TestAppendBatchWrap(t *testing.T) {
+	p, ns := testPlatform(t)
+	reg, err := NewRegion(ns, 0, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAppender(reg, NewPersister(NTStream))
+	r0, r1 := pattern(1, 300), pattern(2, 300)
+	var off0, off1 int64
+	p.Go("w", 0, func(ctx *platform.MemCtx) {
+		// First batch fills [0,768): two 304-byte frames plus the 64-byte
+		// commit line, padded to whole XPLines.
+		a.Begin()
+		a.Add(ctx, pattern(8, 300))
+		a.Add(ctx, pattern(9, 300))
+		a.Commit(ctx)
+		// Second batch stages at 768 (offsets provisional), but committing
+		// its 768 XPLine-padded bytes there would overrun the region, so
+		// the whole batch wraps to 0 and every staged record shifts down.
+		a.Begin()
+		if off0, err = a.Add(ctx, r0); err != nil {
+			t.Error(err)
+			return
+		}
+		if off0 != 772 {
+			t.Errorf("pre-wrap provisional offset = %d, want 772", off0)
+		}
+		off0 = 4 // post-wrap home
+		if off1, err = a.Add(ctx, r1); err != nil {
+			t.Error(err)
+			return
+		}
+		off1 = 308 // post-wrap home
+		if err = a.Commit(ctx); err != nil {
+			t.Error(err)
+		}
+		// An Add that cannot fit even after wrapping must error.
+		a.Begin()
+		if _, err := a.Add(ctx, make([]byte, 1024)); err == nil {
+			t.Error("oversized batch accepted")
+		}
+		a.Commit(ctx)
+	})
+	p.Run()
+	if off0 != 4 || off1 != 308 {
+		t.Fatalf("wrapped payload offsets = %d, %d, want 4, 308", off0, off1)
+	}
+	if a.Wraps() != 1 {
+		t.Fatalf("wraps = %d, want 1", a.Wraps())
+	}
+	p.Crash()
+	for _, c := range []struct {
+		off  int64
+		want []byte
+	}{{off0, r0}, {off1, r1}} {
+		got := make([]byte, len(c.want))
+		reg.ReadDurable(c.off, got)
+		if !bytes.Equal(got, c.want) {
+			t.Fatalf("wrapped record at %d not durable", c.off)
+		}
+	}
+}
+
+// crashSentinel unwinds a simulated thread mid-protocol.
+type crashSentinel struct{}
+
+// Torn-batch recovery: crash an in-flight batch at every protocol stage,
+// under every flush policy, and assert replay recovers exactly the
+// fully-committed prefix. The one legitimate widening is the pre-fence
+// stage under cached-store policies: clwb posts lines to the WPQ (the ADR
+// domain), so a batch whose commit record was written but not yet fenced
+// MAY be fully durable — recovery then sees a valid commit record and the
+// batch counts as committed. Anything between (a torn payload or torn
+// commit record) must fail the CRC and be discarded.
+func TestTornBatchRecovery(t *testing.T) {
+	const (
+		committed = 3 // fully committed batches before the in-flight one
+		perBatch  = 3
+	)
+	stages := []string{"staged", "partial", "pre-commit", "pre-fence"}
+	for _, pol := range Policies() {
+		for _, stage := range stages {
+			pol, stage := pol, stage
+			t.Run(fmt.Sprintf("%s/%s", pol, stage), func(t *testing.T) {
+				p, ns := testPlatform(t)
+				reg, err := NewRegion(ns, 0, 64<<10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				w := NewPersister(pol)
+				a := NewAppender(reg, w)
+				var all [][]byte // every record staged, committed or not
+				p.Go("w", 0, func(ctx *platform.MemCtx) {
+					defer func() {
+						if r := recover(); r != nil {
+							if _, ok := r.(crashSentinel); !ok {
+								panic(r)
+							}
+						}
+					}()
+					add := func(b, i int) {
+						rec := pattern(uint64(b*97+i)+5, 80+i*7)
+						all = append(all, rec)
+						if _, err := a.Add(ctx, rec); err != nil {
+							t.Error(err)
+							panic(crashSentinel{})
+						}
+					}
+					for b := 0; b < committed; b++ {
+						a.Begin()
+						for i := 0; i < perBatch; i++ {
+							add(b, i)
+						}
+						if err := a.Commit(ctx); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+					a.CrashHook = func(s string) {
+						if s == stage {
+							panic(crashSentinel{})
+						}
+					}
+					a.Begin()
+					for i := 0; i < perBatch; i++ {
+						add(committed, i)
+					}
+					a.Commit(ctx)
+				})
+				p.Run()
+				p.Crash()
+				var got [][]byte
+				batches, n := RecoverBatches(reg, func(rec []byte) {
+					got = append(got, append([]byte(nil), rec...))
+				})
+				switch stage {
+				case "pre-fence":
+					if batches != committed && batches != committed+1 {
+						t.Fatalf("recovered %d batches, want %d or %d", batches, committed, committed+1)
+					}
+				default:
+					if batches != committed {
+						t.Fatalf("recovered %d batches, want exactly %d", batches, committed)
+					}
+				}
+				if n != batches*perBatch || len(got) != n {
+					t.Fatalf("recovered %d records over %d batches", n, batches)
+				}
+				for i, rec := range got {
+					if !bytes.Equal(rec, all[i]) {
+						t.Fatalf("replayed record %d differs from the append order", i)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAppendBatch compares fence amortization across batch depths:
+// fences/op is 1 at depth 1 and 1/depth for group commit.
+func BenchmarkAppendBatch(b *testing.B) {
+	for _, depth := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("batch=%d", depth), func(b *testing.B) {
+			p, ns := testPlatform(b)
+			reg := Whole(ns)
+			w := NewPersister(NTStream)
+			a := NewAppender(reg, w)
+			rec := pattern(3, 120)
+			b.ResetTimer()
+			p.Go("w", 0, func(ctx *platform.MemCtx) {
+				for i := 0; i < b.N; {
+					if depth == 1 {
+						if _, err := a.Append(ctx, rec); err != nil {
+							b.Error(err)
+							return
+						}
+						i++
+						continue
+					}
+					a.Begin()
+					for j := 0; j < depth && i < b.N; j++ {
+						if _, err := a.Add(ctx, rec); err != nil {
+							b.Error(err)
+							return
+						}
+						i++
+					}
+					if err := a.Commit(ctx); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			p.Run()
+			b.ReportMetric(float64(w.C.Fences)/float64(b.N), "fences/op")
+		})
+	}
+}

@@ -132,6 +132,12 @@ type Counters struct {
 	// Fences counts explicit fence points (Fence and the fence inside
 	// Persist).
 	Fences int64
+	// Batches and BatchOps count group commits (Appender Begin/Add/Commit
+	// batches, one fence each) and the records they carried. Their ratio
+	// is the fence amortization the batch path buys: fences per logged op
+	// is Batches/BatchOps instead of 1.
+	Batches  int64
+	BatchOps int64
 }
 
 func (c *Counters) add(p Policy, bytes int) {
@@ -146,6 +152,8 @@ func (c *Counters) Merge(other *Counters) {
 		c.Bytes[i] += other.Bytes[i]
 	}
 	c.Fences += other.Fences
+	c.Batches += other.Batches
+	c.BatchOps += other.BatchOps
 }
 
 // Total returns the op and byte counts summed across policies.
@@ -170,5 +178,10 @@ func (c *Counters) Metrics(m map[string]float64) {
 	}
 	if c.Fences > 0 {
 		m["pmem_fences"] = float64(c.Fences)
+	}
+	if c.BatchOps > 0 {
+		m["pmem_batches"] = float64(c.Batches)
+		m["pmem_batch_ops"] = float64(c.BatchOps)
+		m["pmem_fence_per_op"] = float64(c.Fences) / float64(c.BatchOps)
 	}
 }

@@ -145,7 +145,16 @@ func (m *CMap) find(ctx *platform.MemCtx, key []byte) (entryMeta, int64, bool) {
 	for cur != 0 {
 		meta := m.readMeta(ctx, cur)
 		if meta.hash == h && meta.keyLen == len(key) {
-			k := make([]byte, meta.keyLen)
+			// Probe keys through a stack buffer: find is on the serving hot
+			// path and must not allocate per chain hop (keys longer than the
+			// buffer fall back, matching the old behavior).
+			var kbuf [64]byte
+			k := kbuf[:]
+			if meta.keyLen > len(kbuf) {
+				k = make([]byte, meta.keyLen)
+			} else {
+				k = kbuf[:meta.keyLen]
+			}
 			m.reg.LoadInto(ctx, cur+entryHeader, k)
 			if bytes.Equal(k, key) {
 				return meta, ptrOff, true
@@ -169,6 +178,32 @@ func (m *CMap) Get(ctx *platform.MemCtx, key []byte) ([]byte, bool) {
 	val := make([]byte, meta.vLen)
 	m.reg.LoadInto(ctx, meta.off+entryHeader+int64(meta.keyLen), val)
 	return val, true
+}
+
+// GetInto is the allocation-free Get: the value is loaded into dst and its
+// full length returned (ok reports presence). A value longer than dst is
+// loaded through a transient buffer instead — the same bytes travel the
+// memory hierarchy either way, so simulated timing is identical to Get and
+// only the Go-heap behavior differs.
+func (m *CMap) GetInto(ctx *platform.MemCtx, key, dst []byte) (int, bool) {
+	lock := m.lockFor(hashKey(key))
+	lock.Lock(ctx.Proc())
+	defer lock.Unlock()
+	meta, _, ok := m.find(ctx, key)
+	if !ok {
+		return 0, false
+	}
+	val := dst
+	if meta.vLen > len(dst) {
+		val = make([]byte, meta.vLen)
+	} else {
+		val = dst[:meta.vLen]
+	}
+	m.reg.LoadInto(ctx, meta.off+entryHeader+int64(meta.keyLen), val)
+	if meta.vLen > len(dst) {
+		copy(dst, val)
+	}
+	return meta.vLen, true
 }
 
 // Put inserts or updates key. Same-size updates happen in place through

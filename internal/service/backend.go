@@ -29,15 +29,33 @@ type Backend interface {
 	Delete(ctx *platform.MemCtx, key []byte) error
 }
 
+// BufferGetter is the allocation-free read path a Backend may additionally
+// implement: the value lands in the caller's buffer (its full length is
+// returned) instead of a freshly allocated slice. The dispatch hot path
+// prefers it — a GET against a BufferGetter backend reads into the worker's
+// scratch and stays off the Go heap, which is what keeps the steady-state
+// dispatch loop at zero allocations per op. The bytes moved through the
+// simulated hierarchy are identical to Get, so timing does not change.
+type BufferGetter interface {
+	GetInto(ctx *platform.MemCtx, key, dst []byte) (int, bool)
+}
+
 // KeyFor renders the fixed-width key for a global key id, matching the
 // layout the backends are preloaded with.
 func KeyFor(id int64, size int) []byte {
 	k := make([]byte, size)
+	KeyInto(k, id)
+	return k
+}
+
+// KeyInto renders the key for id into k (len(k) is the key size) without
+// allocating — the dispatch hot path's variant. Backends copy key bytes
+// on insert, so callers may reuse k across requests.
+func KeyInto(k []byte, id int64) {
 	binary.LittleEndian.PutUint64(k, uint64(id))
-	for i := 8; i < size; i++ {
+	for i := 8; i < len(k); i++ {
 		k[i] = byte('k' + (id+int64(i))%13)
 	}
-	return k
 }
 
 // KeyID recovers the global key id a KeyFor key encodes.
@@ -48,8 +66,17 @@ func KeyID(key []byte) int64 {
 // ValFor renders a deterministic value for a key id.
 func ValFor(id int64, size int) []byte {
 	v := make([]byte, size)
-	binary.LittleEndian.PutUint64(v, uint64(id)*2654435761+1)
+	ValInto(v, id)
 	return v
+}
+
+// ValInto renders the value for id into v without allocating, the
+// counterpart of KeyInto.
+func ValInto(v []byte, id int64) {
+	binary.LittleEndian.PutUint64(v, uint64(id)*2654435761+1)
+	for i := 8; i < len(v); i++ {
+		v[i] = 0
+	}
 }
 
 // BackendSpec configures a preloaded backend.
@@ -172,6 +199,10 @@ type cmapBackend struct {
 
 func (b *cmapBackend) Get(ctx *platform.MemCtx, key []byte) ([]byte, bool) {
 	return b.m.Get(ctx, key)
+}
+
+func (b *cmapBackend) GetInto(ctx *platform.MemCtx, key, dst []byte) (int, bool) {
+	return b.m.GetInto(ctx, key, dst)
 }
 
 func (b *cmapBackend) Put(ctx *platform.MemCtx, key, val []byte) error {

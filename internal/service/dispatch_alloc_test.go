@@ -1,0 +1,146 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"optanestudy/internal/platform"
+	"optanestudy/internal/sim"
+	"optanestudy/internal/stats"
+)
+
+// dispatchHarness drives the batched worker internals — push, popN,
+// executeBatch — exactly as the group-commit worker loop does, so the
+// allocation behavior it measures is the steady-state dispatch path's.
+type dispatchHarness struct {
+	p     *platform.Platform
+	cfg   Config
+	shard Shard
+	st    *serveState
+	sh    *shardState
+	sc    *opScratch
+	batch []request
+	n     int64
+}
+
+func newDispatchHarness(tb testing.TB, batchSize int) *dispatchHarness {
+	tb.Helper()
+	pcfg := platform.DefaultConfig()
+	pcfg.TrackData = true
+	pcfg.XP.Wear.Enabled = false
+	p := platform.MustNew(pcfg)
+	tb.Cleanup(p.Close)
+	spec := BackendSpec{Media: "optane", Keys: 400, KeySize: 16, ValSize: 128, ScanSpan: 200}
+	be, err := NewPMemKV(p, spec)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	plog, err := NewAppendLog(p, BackendSpec{Media: "optane", NamePrefix: "dispatch-log"}, 1, 1<<20)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	h := &dispatchHarness{
+		p: p,
+		cfg: Config{
+			KeySize: spec.KeySize, ValSize: spec.ValSize, ScanLen: 16,
+			BatchSize: batchSize,
+		},
+		shard: Shard{Backend: be, Workers: 1, PutLog: plog},
+		st: &serveState{
+			shards:  make([]shardState, 1),
+			tenants: []TenantStats{{Name: "t", Latency: stats.NewHistogram()}},
+		},
+		sc:    newOpScratch(Config{KeySize: spec.KeySize, ValSize: spec.ValSize}),
+		batch: make([]request, 0, batchSize),
+	}
+	h.st.shards[0] = shardState{
+		occ:     sim.NewBoundedQueue(32 * batchSize),
+		latency: stats.NewHistogram(),
+	}
+	h.sh = &h.st.shards[0]
+	return h
+}
+
+// step is one worker wakeup: admit a full group (a 0.7/0.3 put/get mix over
+// a rolling key window), drain it, and execute it as one group commit.
+func (h *dispatchHarness) step(ctx *platform.MemCtx) error {
+	proc := ctx.Proc()
+	now := proc.Now()
+	for i := 0; i < h.cfg.BatchSize; i++ {
+		h.n++
+		op := OpPut
+		if h.n%10 < 3 {
+			op = OpGet
+		}
+		h.sh.push(request{
+			tenant: 0, op: op, key: h.n * 31 % 400,
+			arrival: now, measured: true,
+		})
+	}
+	h.batch = h.sh.popN(proc.Now(), h.cfg.BatchSize, h.batch[:0])
+	return executeBatch(ctx, h.cfg, &h.shard, 0, h.batch, h.sc, h.sh, h.st)
+}
+
+// The steady-state batched dispatch path — admission, batch drain, key and
+// value rendering, backend reads, group-commit journaling, latency
+// recording — must not allocate. Warmup lets every amortized structure
+// (queue rings, the appender's staging mirror, histogram buckets, load
+// windows, the XPBuffer's entry pool) reach its high-water mark; after
+// that, a dispatched op that touches the Go heap is a regression.
+func TestDispatchZeroAlloc(t *testing.T) {
+	h := newDispatchHarness(t, 8)
+	var avg float64
+	var stepErr error
+	h.p.Go("dispatch", 0, func(ctx *platform.MemCtx) {
+		for i := 0; i < 400; i++ { // warmup: past the queue-ring trim cycle
+			if stepErr = h.step(ctx); stepErr != nil {
+				return
+			}
+		}
+		avg = testing.AllocsPerRun(100, func() {
+			if err := h.step(ctx); err != nil && stepErr == nil {
+				stepErr = err
+			}
+		})
+	})
+	h.p.Run()
+	if stepErr != nil {
+		t.Fatal(stepErr)
+	}
+	if avg != 0 {
+		t.Fatalf("steady-state dispatch allocates: %.2f allocs per batch, want 0", avg)
+	}
+	if h.sh.completed == 0 || h.st.tenants[0].Completed != h.sh.completed {
+		t.Fatalf("harness recorded %d/%d completions", h.sh.completed, h.st.tenants[0].Completed)
+	}
+}
+
+// BenchmarkDispatchAllocs reports the dispatch path's per-op cost and
+// allocation rate at the sweep's batch depths; allocs/op must be 0.
+func BenchmarkDispatchAllocs(b *testing.B) {
+	for _, depth := range []int{8, 32} {
+		b.Run(fmt.Sprintf("batch=%d", depth), func(b *testing.B) {
+			h := newDispatchHarness(b, depth)
+			var stepErr error
+			h.p.Go("dispatch", 0, func(ctx *platform.MemCtx) {
+				for i := 0; i < 400; i++ {
+					if stepErr = h.step(ctx); stepErr != nil {
+						return
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := h.step(ctx); err != nil {
+						stepErr = err
+						return
+					}
+				}
+			})
+			h.p.Run()
+			if stepErr != nil {
+				b.Fatal(stepErr)
+			}
+		})
+	}
+}

@@ -97,6 +97,44 @@ func init() {
 		},
 		Run: runSweepScenario,
 	})
+	// The batch family turns group commit on: workers drain up to `batch`
+	// admitted requests per wakeup and journal the group's PUTs through
+	// ONE fence (lingering up to `linger` ns to fill short batches), the
+	// write-behind shape of van Renen et al.'s buffered log primitives.
+	// The point scenario reports the fence-amortization counters
+	// (pmem_fence_per_op well below 1); the sweep repeats the
+	// single-DIMM contention grid at depths 1/8/32, where the depth-1 leg
+	// is byte-identical to an unbatched sweep and the deeper legs shift
+	// the saturation knee right.
+	harness.Register(harness.Scenario{
+		Name: "service/batch/point",
+		Doc:  "group-commit dispatch at one load level: batched drain, one fence per batch",
+		Defaults: harness.Defaults{
+			Threads: 4, Duration: 300 * sim.Microsecond, Seed: 36,
+			Params: map[string]string{
+				"backend": "pmemkv", "media": "optane-ni",
+				"putlog": "1", "keysize": "8", "valsize": "112",
+				"get": "0.3", "put": "0.7", "scan": "0",
+				"offered": "15000", "batch": "8", "linger": "1000",
+			},
+		},
+		Run: runPoint,
+	})
+	harness.Register(harness.Scenario{
+		Name: "service/batch/sweep",
+		Doc:  "group-commit saturation curves at batch depths 1/8/32 on a single DIMM",
+		Defaults: harness.Defaults{
+			Threads: 4, Duration: 300 * sim.Microsecond, Seed: 35,
+			Params: map[string]string{
+				"backend": "pmemkv", "media": "optane-ni",
+				"putlog": "1", "keysize": "8", "valsize": "112",
+				"get": "0.3", "put": "0.7", "scan": "0",
+				"minkops": "3000", "maxkops": "21000", "points": "7",
+				"batchgrid": "1,8,32", "batchlinger": "1000",
+			},
+		},
+		Run: runSweepScenario,
+	})
 }
 
 // runPoint measures one open-loop load level.
@@ -127,10 +165,18 @@ func runPoint(spec harness.Spec) (harness.Trial, error) {
 	putlog := r.Bool("putlog", false)
 	qcap := r.Int("qcap", 0)
 	pollNS := r.Float("poll", 200)
+	batch := r.Int("batch", 1)
+	lingerNS := r.Float("linger", 0)
 	pmBytes := r.Int64("pmbytes", 0)
 	dramBytes := r.Int64("drambytes", 0)
 	if err := r.Err(); err != nil {
 		return harness.Trial{}, err
+	}
+	if batch < 1 {
+		return harness.Trial{}, fmt.Errorf("service: batch size must be >= 1, got %d", batch)
+	}
+	if lingerNS < 0 {
+		return harness.Trial{}, fmt.Errorf("service: linger must be >= 0 ns, got %g", lingerNS)
 	}
 	var nativeScan bool
 	switch scanMode {
@@ -211,6 +257,7 @@ func runPoint(spec harness.Spec) (harness.Trial, error) {
 		PutLog:   plog,
 		Duration: spec.Duration, Warmup: spec.Warmup,
 		Poll: sim.Nanos(pollNS), Seed: spec.Seed,
+		BatchSize: batch, BatchLinger: sim.Nanos(lingerNS),
 	})
 	if err != nil {
 		return harness.Trial{}, err
@@ -240,6 +287,13 @@ func runPoint(spec harness.Spec) (harness.Trial, error) {
 			m[fmt.Sprintf("t%d_shed_ops", i)] = float64(t.Dropped)
 		}
 	}
+	// Fence-amortization readout, gated on the batch path actually being
+	// on so the batch=1 default keeps every pre-existing scenario's output
+	// byte-stable (group-commit counters would otherwise add keys).
+	if batch > 1 && plog != nil {
+		c := plog.Counters()
+		c.Metrics(m)
+	}
 	return harness.Trial{
 		Ops:     res.Completed,
 		Sim:     res.Window,
@@ -255,10 +309,16 @@ func dropFrac(dropped, offered int64) float64 {
 	return float64(dropped) / float64(offered)
 }
 
-// runSweepScenario fans a load grid (and, with a threadgrid param, a
-// worker-count grid) out over nested point trials. Grid params are
-// consumed here; everything else passes through to the point scenario
-// verbatim, whose reader catches typos.
+// runSweepScenario fans a load grid (and, with threadgrid / batchgrid
+// params, a worker-count or group-commit-depth grid) out over nested
+// point trials. Grid params are consumed here; everything else passes
+// through to the point scenario verbatim, whose reader catches typos.
+//
+// A batchgrid leg with depth 1 injects NO batch params at all, so its
+// point specs — and therefore their derived seeds and results — are
+// byte-identical to the same sweep without a batch axis: the unbatched
+// curve is the baseline, not a near-copy of it. batchlinger (ns) rides
+// the same rule: it reaches only the depth>1 legs.
 func runSweepScenario(spec harness.Spec) (harness.Trial, error) {
 	rest := make(map[string]string, len(spec.Params))
 	for k, v := range spec.Params {
@@ -284,29 +344,85 @@ func runSweepScenario(spec harness.Spec) (harness.Trial, error) {
 			threadGrid = append(threadGrid, n)
 		}
 	}
+	batchGrid, linger, err := BatchGridParams(rest)
+	if err != nil {
+		return harness.Trial{}, err
+	}
 
 	tr := harness.Trial{Metrics: make(map[string]float64)}
 	var text strings.Builder
 	for _, threads := range threadGrid {
-		curve, err := RunSweep(SweepConfig{
-			Backend: backend, Params: rest,
-			Threads: threads, Duration: spec.Duration, Warmup: spec.Warmup,
-			Seed:    spec.Seed,
-			MinKops: minKops, MaxKops: maxKops, Points: int(pointsF),
-			Parallel: spec.Parallel,
-		})
-		if err != nil {
-			return harness.Trial{}, err
+		for _, batch := range batchGrid {
+			params := BatchLegParams(rest, batch, linger)
+			curve, err := RunSweep(SweepConfig{
+				Backend: backend, Params: params,
+				Threads: threads, Duration: spec.Duration, Warmup: spec.Warmup,
+				Seed:    spec.Seed,
+				MinKops: minKops, MaxKops: maxKops, Points: int(pointsF),
+				Parallel: spec.Parallel,
+			})
+			if err != nil {
+				return harness.Trial{}, err
+			}
+			suffix := ""
+			if len(threadGrid) > 1 {
+				suffix += fmt.Sprintf("@t%d", threads)
+			}
+			if len(batchGrid) > 1 {
+				suffix += fmt.Sprintf("@b%d", batch)
+			}
+			EmitCurve(&tr, curve, suffix)
+			title := fmt.Sprintf("service sweep: %s, %d workers", backend, threads)
+			if len(batchGrid) > 1 {
+				title += fmt.Sprintf(", batch %d", batch)
+			}
+			text.WriteString(curve.TSV(title))
+			text.WriteByte('\n')
 		}
-		suffix := ""
-		if len(threadGrid) > 1 {
-			suffix = fmt.Sprintf("@t%d", threads)
-		}
-		EmitCurve(&tr, curve, suffix)
-		title := fmt.Sprintf("service sweep: %s, %d workers", backend, threads)
-		text.WriteString(curve.TSV(title))
-		text.WriteByte('\n')
 	}
 	tr.Text = strings.TrimRight(text.String(), "\n")
 	return tr, nil
+}
+
+// BatchGridParams consumes the group-commit sweep params: "batchgrid" (a
+// comma-separated list of batch depths; default just depth 1) and
+// "batchlinger" (the linger bound in ns for the depth>1 legs). Shared by
+// the service and cluster sweep scenarios.
+func BatchGridParams(params map[string]string) (grid []int, linger string, err error) {
+	grid = []int{1}
+	if bg, ok := params["batchgrid"]; ok {
+		delete(params, "batchgrid")
+		grid = grid[:0]
+		for _, s := range strings.Split(bg, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				return nil, "", fmt.Errorf("param batchgrid=%q: want comma-separated positive ints", bg)
+			}
+			grid = append(grid, n)
+		}
+	}
+	if lg, ok := params["batchlinger"]; ok {
+		delete(params, "batchlinger")
+		linger = lg
+	}
+	return grid, linger, nil
+}
+
+// BatchLegParams renders one batch-grid leg's point params: depth 1
+// passes base through untouched (no batch keys — the spec must stay
+// byte-identical to an unbatched sweep's), deeper legs copy base and add
+// batch/linger.
+func BatchLegParams(base map[string]string, batch int, linger string) map[string]string {
+	if batch <= 1 {
+		return base
+	}
+	params := make(map[string]string, len(base)+2)
+	for k, v := range base {
+		params[k] = v
+	}
+	params["batch"] = strconv.Itoa(batch)
+	if linger != "" {
+		params["linger"] = linger
+	}
+	return params
 }

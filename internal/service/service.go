@@ -128,7 +128,19 @@ type Config struct {
 	Warmup   sim.Time
 	// Poll is the idle worker's queue re-check interval (default 200 ns).
 	Poll sim.Time
-	Seed uint64
+	// BatchSize, when > 1, switches workers to group-commit dispatch: a
+	// worker drains up to BatchSize admitted requests per wakeup and
+	// journals every logged PUT in the group through ONE fence (a
+	// pmem.Appender group commit), so the fence cost amortizes across the
+	// batch. 0 or 1 keeps the one-request-per-wakeup loop — and the
+	// one-fence-per-PUT persists — exactly as before.
+	BatchSize int
+	// BatchLinger bounds the latency a partially-filled batch may add: a
+	// worker that drained fewer than BatchSize requests waits at most
+	// BatchLinger for stragglers before committing what it has. 0 commits
+	// short batches immediately.
+	BatchLinger sim.Time
+	Seed        uint64
 }
 
 // TenantStats is one tenant's outcome over the measured window.
@@ -219,12 +231,15 @@ func (g *keyGen) next() int64 {
 }
 
 // shardState is one shard's queue and accounting. Procs run one at a time
-// and only hand off at explicit time advances, so no locking.
+// and only hand off at explicit time advances, so no locking. The request
+// payloads live in a local ring; admission capacity, the occupancy-time
+// integral and the depth watermark are delegated to a pull-mode
+// sim.BoundedQueue (PushOpen on admit, PopN on worker drain), whose
+// accounting is exactly the arithmetic this struct used to inline.
 type shardState struct {
 	queue     []request
 	head      int
-	maxLen    int
-	residency sim.Time
+	occ       *sim.BoundedQueue
 	busy      sim.Time
 	offered   int64
 	dropped   int64
@@ -239,27 +254,46 @@ type serveState struct {
 	tenants []TenantStats
 }
 
-func (s *shardState) qlen() int { return len(s.queue) - s.head }
+// full reports whether the admission queue is at capacity (the shed
+// condition).
+func (s *shardState) full() bool { return s.occ.Len() >= s.occ.Cap() }
 
 func (s *shardState) push(r request) {
-	s.queue = append(s.queue, r)
-	if n := s.qlen(); n > s.maxLen {
-		s.maxLen = n
+	if !s.occ.PushOpen(r.arrival) {
+		panic("service: push on a full shard queue")
 	}
+	s.queue = append(s.queue, r)
 }
 
-func (s *shardState) pop(now sim.Time) (request, bool) {
-	if s.qlen() == 0 {
-		return request{}, false
-	}
-	r := s.queue[s.head]
-	s.head++
+func (s *shardState) trim() {
 	if s.head > 1024 && s.head*2 >= len(s.queue) {
 		s.queue = append(s.queue[:0], s.queue[s.head:]...)
 		s.head = 0
 	}
-	s.residency += now - r.arrival
+}
+
+func (s *shardState) pop(now sim.Time) (request, bool) {
+	if s.occ.PopN(now, 1) == 0 {
+		return request{}, false
+	}
+	r := s.queue[s.head]
+	s.head++
+	s.trim()
 	return r, true
+}
+
+// popN batch-drains up to n admitted requests at time now, appending
+// them to dst (which the caller sizes to its batch capacity, so the
+// steady state never reallocates) and closing each one's queue
+// residency exactly as single pops would.
+func (s *shardState) popN(now sim.Time, n int, dst []request) []request {
+	k := s.occ.PopN(now, n)
+	for i := 0; i < k; i++ {
+		dst = append(dst, s.queue[s.head])
+		s.head++
+	}
+	s.trim()
+	return dst
 }
 
 // Serve runs one open-loop serving experiment on the platform. The
@@ -344,6 +378,7 @@ func Serve(cfg Config) (*Result, error) {
 	}
 	for i := range st.shards {
 		st.shards[i].latency = stats.NewHistogram()
+		st.shards[i].occ = sim.NewBoundedQueue(caps[i])
 	}
 	gens := make([]*keyGen, len(cfg.Tenants))
 	for i, tn := range cfg.Tenants {
@@ -423,7 +458,7 @@ func Serve(cfg Config) (*Result, error) {
 				if measured {
 					sh.offered++
 				}
-				if sh.qlen() >= caps[si] {
+				if sh.full() {
 					if measured {
 						st.tenants[ti].Dropped++
 						sh.dropped++
@@ -437,7 +472,7 @@ func Serve(cfg Config) (*Result, error) {
 			if measured {
 				sh.offered++
 			}
-			if sh.qlen() >= caps[0] {
+			if sh.full() {
 				if measured {
 					st.tenants[ti].Dropped++
 					sh.dropped++
@@ -454,7 +489,10 @@ func Serve(cfg Config) (*Result, error) {
 
 	// Workers: per-shard pop-execute loops. An idle worker re-polls its
 	// shard's queue every cfg.Poll; after the dispatcher closes, workers
-	// drain the backlog so admitted requests always complete.
+	// drain the backlog so admitted requests always complete. With
+	// cfg.BatchSize > 1 a worker drains a whole group per wakeup and
+	// journals its logged PUTs through one group commit; the default loop
+	// is the original one-request-per-wakeup path, untouched.
 	for si := range shards {
 		si := si
 		shard := &shards[si]
@@ -465,8 +503,47 @@ func Serve(cfg Config) (*Result, error) {
 			if sharded {
 				name = fmt.Sprintf("serve-s%dw%d", si, w)
 			}
+			if cfg.BatchSize > 1 {
+				p.Go(name, shard.Socket, func(ctx *platform.MemCtx) {
+					proc := ctx.Proc()
+					sc := newOpScratch(cfg)
+					batch := make([]request, 0, cfg.BatchSize)
+					for runErr == nil {
+						batch = sh.popN(proc.Now(), cfg.BatchSize, batch[:0])
+						if len(batch) == 0 {
+							if st.closed {
+								return
+							}
+							proc.Sleep(cfg.Poll)
+							continue
+						}
+						// Linger for stragglers when the batch came up short —
+						// but the linger deadline runs from the OLDEST drained
+						// request's arrival, so a request is never held more
+						// than BatchLinger past its arrival before execution
+						// starts. Under backlog the oldest request has already
+						// aged past the deadline and the group commits
+						// immediately: linger adds latency only at light load,
+						// and at most BatchLinger of it.
+						if len(batch) < cfg.BatchSize && cfg.BatchLinger > 0 && !st.closed {
+							if dl := batch[0].arrival + cfg.BatchLinger; dl > proc.Now() {
+								proc.Sleep(dl - proc.Now())
+								batch = sh.popN(proc.Now(), cfg.BatchSize-len(batch), batch)
+							}
+						}
+						t0 := proc.Now()
+						if err := executeBatch(ctx, cfg, shard, w, batch, sc, sh, st); err != nil {
+							runErr = err
+							return
+						}
+						sh.busy += proc.Now() - t0
+					}
+				})
+				continue
+			}
 			p.Go(name, shard.Socket, func(ctx *platform.MemCtx) {
 				proc := ctx.Proc()
+				sc := newOpScratch(cfg)
 				for runErr == nil {
 					req, ok := sh.pop(proc.Now())
 					if !ok {
@@ -477,19 +554,13 @@ func Serve(cfg Config) (*Result, error) {
 						continue
 					}
 					t0 := proc.Now()
-					if err := execute(ctx, cfg, shard, w, req); err != nil {
+					if err := execute(ctx, cfg, shard, w, req, sc); err != nil {
 						runErr = err
 						return
 					}
 					t1 := proc.Now()
 					sh.busy += t1 - t0
-					if req.measured {
-						lat := (t1 - req.arrival).Nanoseconds()
-						st.tenants[req.tenant].Latency.Add(lat)
-						st.tenants[req.tenant].Completed++
-						sh.completed++
-						sh.latency.Add(lat)
-					}
+					st.record(sh, req, t1)
 				}
 			})
 		}
@@ -510,12 +581,12 @@ func Serve(cfg Config) (*Result, error) {
 		res.Shards[i] = ShardStats{
 			Offered: sh.offered, Dropped: sh.dropped, Completed: sh.completed,
 			Latency: sh.latency, WorkerBusy: sh.busy,
-			QueueResidency: sh.residency, MaxQueueLen: sh.maxLen,
+			QueueResidency: sh.occ.OccupancyTime(), MaxQueueLen: sh.occ.MaxLen(),
 		}
 		res.WorkerBusy += sh.busy
-		res.QueueResidency += sh.residency
-		if sh.maxLen > res.MaxQueueLen {
-			res.MaxQueueLen = sh.maxLen
+		res.QueueResidency += sh.occ.OccupancyTime()
+		if sh.occ.MaxLen() > res.MaxQueueLen {
+			res.MaxQueueLen = sh.occ.MaxLen()
 		}
 	}
 	for i := range st.tenants {
@@ -529,24 +600,97 @@ func Serve(cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// opScratch is one worker's reusable key/value rendering buffers: the
+// dispatch hot path renders into these instead of allocating per op
+// (backends copy on insert, so reuse across requests is safe). Pinned at
+// zero allocations per op by TestDispatchZeroAlloc.
+type opScratch struct {
+	key, val []byte
+}
+
+func newOpScratch(cfg Config) *opScratch {
+	return &opScratch{key: make([]byte, cfg.KeySize), val: make([]byte, cfg.ValSize)}
+}
+
+// record books one completed request at time end.
+func (st *serveState) record(sh *shardState, req request, end sim.Time) {
+	if !req.measured {
+		return
+	}
+	lat := (end - req.arrival).Nanoseconds()
+	st.tenants[req.tenant].Latency.Add(lat)
+	st.tenants[req.tenant].Completed++
+	sh.completed++
+	sh.latency.Add(lat)
+}
+
 // execute runs one request against its shard's backend. A SCAN goes
 // through Backend.Scan — lsmkv's native sorted merge walk, or the emulated
 // consecutive point reads wrapping inside the tenant's keyspace shard.
 // worker is the shard-local worker id (the PutLog appender index).
-func execute(ctx *platform.MemCtx, cfg Config, shard *Shard, worker int, req request) error {
+func execute(ctx *platform.MemCtx, cfg Config, shard *Shard, worker int, req request, sc *opScratch) error {
+	KeyInto(sc.key, req.key)
 	switch req.op {
 	case OpGet:
-		shard.Backend.Get(ctx, KeyFor(req.key, cfg.KeySize))
+		// Prefer the buffered read: same simulated cost as Get, but the
+		// value lands in the worker's scratch instead of a fresh slice.
+		if bg, ok := shard.Backend.(BufferGetter); ok {
+			bg.GetInto(ctx, sc.key, sc.val)
+			return nil
+		}
+		shard.Backend.Get(ctx, sc.key)
 		return nil
 	case OpPut:
+		ValInto(sc.val, req.key+1)
 		if shard.PutLog != nil {
-			return shard.PutLog.Append(ctx, worker, KeyFor(req.key, cfg.KeySize), ValFor(req.key+1, cfg.ValSize))
+			return shard.PutLog.Append(ctx, worker, sc.key, sc.val)
 		}
-		return shard.Backend.Put(ctx, KeyFor(req.key, cfg.KeySize), ValFor(req.key+1, cfg.ValSize))
+		return shard.Backend.Put(ctx, sc.key, sc.val)
 	case OpDel:
-		return shard.Backend.Delete(ctx, KeyFor(req.key, cfg.KeySize))
+		return shard.Backend.Delete(ctx, sc.key)
 	default:
-		shard.Backend.Scan(ctx, KeyFor(req.key, cfg.KeySize), cfg.ScanLen)
+		shard.Backend.Scan(ctx, sc.key, cfg.ScanLen)
 		return nil
 	}
+}
+
+// executeBatch runs one drained group. Non-logged ops execute in arrival
+// order and complete at their own execution time; logged PUTs are staged
+// into the worker's group commit as they are reached and ALL complete at
+// the commit fence — their records are not durable (and so the requests
+// are not answerable) until the batch's single fence retires.
+func executeBatch(ctx *platform.MemCtx, cfg Config, shard *Shard, worker int, batch []request, sc *opScratch, sh *shardState, st *serveState) error {
+	proc := ctx.Proc()
+	logging := false
+	for i := range batch {
+		req := &batch[i]
+		if shard.PutLog != nil && req.op == OpPut {
+			if !logging {
+				shard.PutLog.Begin(worker)
+				logging = true
+			}
+			KeyInto(sc.key, req.key)
+			ValInto(sc.val, req.key+1)
+			if err := shard.PutLog.Add(ctx, worker, sc.key, sc.val); err != nil {
+				return err
+			}
+			continue // completes at the commit fence below
+		}
+		if err := execute(ctx, cfg, shard, worker, *req, sc); err != nil {
+			return err
+		}
+		st.record(sh, *req, proc.Now())
+	}
+	if logging {
+		if err := shard.PutLog.Commit(ctx, worker); err != nil {
+			return err
+		}
+		end := proc.Now()
+		for i := range batch {
+			if batch[i].op == OpPut {
+				st.record(sh, batch[i], end)
+			}
+		}
+	}
+	return nil
 }

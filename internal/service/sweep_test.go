@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"testing"
 
 	"optanestudy/internal/harness"
@@ -144,6 +145,85 @@ func TestContentionShape(t *testing.T) {
 	if over[mid].P99 < 5*within[mid].P99 {
 		t.Errorf("p99 at %.0f kops: 16 workers %.0f should dwarf 4 workers %.0f",
 			within[mid].OfferedKops, over[mid].P99, within[mid].P99)
+	}
+}
+
+// TestBatchSweepShape pins the group-commit claims the batch sweep axis
+// exists to demonstrate, mirroring the service/batch/sweep preset: the
+// depth-1 leg is exactly the unbatched contention curve (the BatchLegParams
+// identity), deeper legs shift the saturation knee to a higher offered
+// load, the deepest grid point runs well under one fence per op, and the
+// light-load p50 penalty stays within the linger bound.
+func TestBatchSweepShape(t *testing.T) {
+	base := map[string]string{
+		"backend": "pmemkv", "media": "optane-ni",
+		"putlog": "1", "keysize": "8", "valsize": "112",
+		"get": "0.3", "put": "0.7", "scan": "0",
+	}
+	run := func(params map[string]string) Curve {
+		curve, err := RunSweep(SweepConfig{
+			Backend: "pmemkv", Params: params, Threads: 4,
+			Duration: 300 * sim.Microsecond, Seed: 35,
+			MinKops: 3000, MaxKops: 21000, Points: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return curve
+	}
+	grid, linger, err := BatchGridParams(map[string]string{
+		"batchgrid": "1,8,32", "batchlinger": "1000",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 3 || grid[0] != 1 || linger != "1000" {
+		t.Fatalf("batch grid parsed as %v / linger %q", grid, linger)
+	}
+	curves := make(map[int]Curve, len(grid))
+	for _, depth := range grid {
+		curves[depth] = run(BatchLegParams(base, depth, linger))
+	}
+	b1, b8, b32 := curves[1], curves[8], curves[32]
+
+	// The depth-1 leg must BE the unbatched curve — same params, same
+	// derived seeds, same numbers — not a near-copy with batch keys set.
+	if legs := BatchLegParams(base, 1, linger); !reflect.DeepEqual(legs, base) {
+		t.Fatalf("depth-1 leg params %v differ from the unbatched base %v", legs, base)
+	}
+	if unbatched := run(base); !reflect.DeepEqual(b1, unbatched) {
+		t.Fatal("depth-1 leg curve differs from the unbatched sweep")
+	}
+
+	// Group commit moves the saturation knee right: the fence amortization
+	// buys capacity, so deeper legs keep up with offered loads the
+	// one-fence-per-PUT leg already sheds at.
+	k1 := b1[b1.KneeIndex()].OfferedKops
+	for _, depth := range []int{8, 32} {
+		c := curves[depth]
+		if knee := c[c.KneeIndex()].OfferedKops; knee <= k1 {
+			t.Errorf("batch=%d knee at %.0f kops does not clear the unbatched knee %.0f", depth, knee, k1)
+		}
+		// At the deepest grid point every wakeup drains a full batch, so
+		// fences per op sit far below one (1/depth in the limit).
+		deep := c[len(c)-1].Metrics["pmem_fence_per_op"]
+		if deep <= 0 || deep >= 0.25 {
+			t.Errorf("batch=%d fences/op at the deepest point = %v, want (0, 0.25)", depth, deep)
+		}
+		if b1deep := b1[len(b1)-1].Metrics["pmem_fence_per_op"]; b1deep != 0 {
+			t.Errorf("unbatched leg emits group-commit counters (%v)", b1deep)
+		}
+		// Linger bounds the light-load latency cost: a short batch commits
+		// at most `linger` past its oldest request's arrival.
+		if delta := c[0].P50 - b1[0].P50; delta > 1100 {
+			t.Errorf("batch=%d light-load p50 penalty %.0f ns exceeds the 1000 ns linger bound", depth, delta)
+		}
+	}
+	if sat1, sat8 := b1.SaturationKops(), b8.SaturationKops(); sat8 < 1.1*sat1 {
+		t.Errorf("batch=8 saturation %.0f kops is not clearly past unbatched %.0f", sat8, sat1)
+	}
+	if sat8, sat32 := b8.SaturationKops(), b32.SaturationKops(); sat32 < sat8 {
+		t.Errorf("batch=32 saturation %.0f kops fell below batch=8's %.0f", sat32, sat8)
 	}
 }
 

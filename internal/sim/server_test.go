@@ -173,6 +173,126 @@ func TestBoundedQueueEqualTimestamps(t *testing.T) {
 	}
 }
 
+// Pull mode: PushOpen/PopN must account residency exactly — the occupancy
+// integral of a batch drain equals the sum of per-entry single pops.
+func TestBoundedQueuePullMode(t *testing.T) {
+	q := NewBoundedQueue(4)
+	for _, at := range []Time{0, 5 * Nanosecond, 9 * Nanosecond} {
+		if !q.PushOpen(at) {
+			t.Fatalf("admit at %v refused below capacity", at)
+		}
+	}
+	if q.Len() != 3 || q.MaxLen() != 3 {
+		t.Fatalf("len/max = %d/%d, want 3/3", q.Len(), q.MaxLen())
+	}
+	// Batch-drain all three at t=20: residency 20 + 15 + 11 = 46ns.
+	if got := q.PopN(20*Nanosecond, 8); got != 3 {
+		t.Fatalf("PopN drained %d, want 3", got)
+	}
+	if got := q.OccupancyTime(); got != 46*Nanosecond {
+		t.Fatalf("occupancy time = %v, want 46ns", got)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("len after drain = %d", q.Len())
+	}
+	// PopN caps at n and preserves FIFO order across partial drains.
+	q.PushOpen(30 * Nanosecond)
+	q.PushOpen(32 * Nanosecond)
+	q.PushOpen(34 * Nanosecond)
+	if got := q.PopN(40*Nanosecond, 2); got != 2 { // 10 + 8
+		t.Fatalf("partial PopN drained %d, want 2", got)
+	}
+	if got := q.PopN(50*Nanosecond, 2); got != 1 { // 16
+		t.Fatalf("tail PopN drained %d, want 1", got)
+	}
+	if got := q.OccupancyTime(); got != (46+10+8+16)*Nanosecond {
+		t.Fatalf("occupancy time = %v, want 80ns", got)
+	}
+	// Admission control: a full queue refuses without stalling.
+	q.Reset()
+	for i := 0; i < 4; i++ {
+		if !q.PushOpen(Time(i) * Nanosecond) {
+			t.Fatalf("admit %d refused below capacity", i)
+		}
+	}
+	if q.PushOpen(10 * Nanosecond) {
+		t.Fatal("admit above capacity accepted")
+	}
+	if q.Len() != 4 || q.MaxLen() != 4 {
+		t.Fatalf("full queue len/max = %d/%d", q.Len(), q.MaxLen())
+	}
+}
+
+// The batch drain must be byte-for-byte equivalent to single pops: same
+// occupancy integral for the same admit/pop schedule.
+func TestBoundedQueuePopNMatchesSinglePops(t *testing.T) {
+	r := NewRNG(11)
+	batch := NewBoundedQueue(64)
+	single := NewBoundedQueue(64)
+	var now Time
+	for round := 0; round < 200; round++ {
+		now += Time(r.Intn(30)) * Nanosecond
+		n := 1 + r.Intn(8)
+		for i := 0; i < n; i++ {
+			at := now + Time(i)*Nanosecond
+			if batch.PushOpen(at) != single.PushOpen(at) {
+				t.Fatal("admission diverged")
+			}
+		}
+		now += Time(r.Intn(50)) * Nanosecond
+		k := 1 + r.Intn(10)
+		got := batch.PopN(now, k)
+		want := 0
+		for i := 0; i < k; i++ {
+			want += single.PopN(now, 1)
+		}
+		if got != want {
+			t.Fatalf("round %d: PopN(%d) drained %d, singles drained %d", round, k, got, want)
+		}
+		if batch.OccupancyTime() != single.OccupancyTime() {
+			t.Fatalf("round %d: occupancy integrals diverged: %v vs %v",
+				round, batch.OccupancyTime(), single.OccupancyTime())
+		}
+	}
+}
+
+// Mixing drain-mode and pull-mode pushes on one queue corrupts the
+// occupancy integral, so it must panic.
+func TestBoundedQueueModeMixPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: mode mix did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("push-then-pushopen", func() {
+		q := NewBoundedQueue(2)
+		q.Push(0, 10*Nanosecond)
+		q.PushOpen(0)
+	})
+	expectPanic("pushopen-then-push", func() {
+		q := NewBoundedQueue(2)
+		q.PushOpen(0)
+		q.Push(0, 10*Nanosecond)
+	})
+	expectPanic("popn-on-drain", func() {
+		q := NewBoundedQueue(2)
+		q.Push(0, 10*Nanosecond)
+		q.PopN(10*Nanosecond, 1)
+	})
+	// Reset clears the mode: reuse in the other mode is fine.
+	q := NewBoundedQueue(2)
+	q.Push(0, 10*Nanosecond)
+	q.Reset()
+	q.PushOpen(0)
+	if q.Len() != 1 {
+		t.Fatal("pull mode after Reset broken")
+	}
+}
+
 func TestRNGDeterminism(t *testing.T) {
 	a, b := NewRNG(42), NewRNG(42)
 	for i := 0; i < 100; i++ {
