@@ -156,6 +156,9 @@ func (a *Appender) Begin() {
 // not fit at the current head wraps as a whole to the region start,
 // shifting every staged record down by the batch's start offset.
 //
+// Callers that record the returned offsets can rebase them after Commit
+// by the change in BatchStart between staging and commit.
+//
 // Empty records are rejected — a zero length is the padding sentinel the
 // recovery walk uses to find the commit line.
 func (a *Appender) Add(ctx *platform.MemCtx, rec []byte) (int64, error) {
@@ -236,6 +239,13 @@ func (a *Appender) Commit(ctx *platform.MemCtx) error {
 	return nil
 }
 
+// BatchStart returns the region offset the open batch is staged at
+// (provisional — Commit may wrap the whole batch to the region start) or,
+// once Commit returns, the offset the batch actually streamed to. Callers
+// that recorded Add's provisional offsets rebase them by the difference
+// between the post- and pre-commit values.
+func (a *Appender) BatchStart() int64 { return a.batchStart }
+
 // BatchLen returns how many records the open batch holds (0 when no
 // batch is open).
 func (a *Appender) BatchLen() int {
@@ -256,6 +266,14 @@ func (a *Appender) BatchLen() int {
 // any trailing in-flight batch is discarded. Returns the batch and
 // record counts delivered.
 //
+// A batch whose zero padding is 1-3 bytes puts the padding and the commit
+// record's magic inside the same 4-byte length-field read, so the zero
+// sentinel can never match there. The walk handles the narrow gap by
+// probing the commit line at its XPLine-aligned position directly; the
+// probe is speculative — the same gap appears at record boundaries in the
+// middle of longer batches — and falls back to the ordinary frame walk
+// when the commit record does not verify.
+//
 // Recovery covers an unwrapped stream era: once the stream wraps, the
 // overwritten region start no longer begins at sequence 1 and replay
 // stops there (checkpoint-and-truncate before wrap is the caller's
@@ -263,57 +281,77 @@ func (a *Appender) BatchLen() int {
 func RecoverBatches(r Region, fn func(rec []byte)) (batches, recs int) {
 	var (
 		off      int64
-		start    int64 // current batch's frame start
+		start    int64  // current batch's frame start
 		expected uint64 = 1
 		pend     [][2]int64
 		hdr      [batchCommitSize]byte
 	)
 	for off+4 <= r.Size() {
-		r.ReadDurable(off, hdr[:4])
-		v := binary.LittleEndian.Uint32(hdr[:4])
+		// Where the commit line would sit if off ended this batch's frames:
+		// zero padding (possibly none) closes the batch's last XPLine, and
+		// the commit record is that line's final 64 bytes.
+		padEnd := start + alignXP(off-start+batchCommitSize) - batchCommitSize
 		commitOff := int64(-1)
-		switch {
-		case v == batchCommitMagic:
-			commitOff = off
-		case v == 0:
-			// Padding: the commit line closes the batch's last XPLine.
-			commitOff = start + alignXP(off-start+batchCommitSize) - batchCommitSize
+		speculative := false
+		if padEnd-off < 4 {
+			// Fewer than 4 bytes before the candidate commit line: a length
+			// field cannot fit, and a batch ending here pads with 0-3 zero
+			// bytes that straddle into the commit record's magic. Probe the
+			// commit line directly — speculatively, because off may equally
+			// be a record boundary mid-batch with frames continuing past
+			// padEnd.
+			commitOff = padEnd
+			speculative = true
+		} else {
+			r.ReadDurable(off, hdr[:4])
+			switch binary.LittleEndian.Uint32(hdr[:4]) {
+			case batchCommitMagic:
+				commitOff = off
+			case 0:
+				// Padding: the commit line closes the batch's last XPLine.
+				commitOff = padEnd
+			}
 		}
 		if commitOff >= 0 {
-			if commitOff+batchCommitSize > r.Size() {
+			ok := commitOff+batchCommitSize <= r.Size()
+			if ok {
+				r.ReadDurable(commitOff, hdr[:])
+				seq := binary.LittleEndian.Uint64(hdr[4:])
+				count := binary.LittleEndian.Uint32(hdr[12:])
+				payload := binary.LittleEndian.Uint32(hdr[16:])
+				ok = binary.LittleEndian.Uint32(hdr[:4]) == batchCommitMagic &&
+					seq == expected && int(count) == len(pend) && int64(payload) == off-start
+				if ok {
+					crc := binary.LittleEndian.Uint32(hdr[20:])
+					padded := make([]byte, commitOff-start)
+					r.ReadDurable(start, padded)
+					ok = crc32.ChecksumIEEE(padded) == crc
+				}
+			}
+			if ok {
+				for _, p := range pend {
+					rec := make([]byte, p[1])
+					r.ReadDurable(p[0], rec)
+					fn(rec)
+				}
+				batches++
+				recs += len(pend)
+				pend = pend[:0]
+				expected++
+				off = commitOff + batchCommitSize
+				start = off
+				continue
+			}
+			if !speculative {
+				// An explicit sentinel (zero length or magic) without a
+				// valid commit record is the torn tail.
 				break
 			}
-			r.ReadDurable(commitOff, hdr[:])
-			if binary.LittleEndian.Uint32(hdr[:4]) != batchCommitMagic {
-				break
-			}
-			seq := binary.LittleEndian.Uint64(hdr[4:])
-			count := binary.LittleEndian.Uint32(hdr[12:])
-			payload := binary.LittleEndian.Uint32(hdr[16:])
-			crc := binary.LittleEndian.Uint32(hdr[20:])
-			if seq != expected || int(count) != len(pend) || int64(payload) != off-start {
-				break
-			}
-			padded := make([]byte, commitOff-start)
-			r.ReadDurable(start, padded)
-			if crc32.ChecksumIEEE(padded) != crc {
-				break
-			}
-			for _, p := range pend {
-				rec := make([]byte, p[1])
-				r.ReadDurable(p[0], rec)
-				fn(rec)
-			}
-			batches++
-			recs += len(pend)
-			pend = pend[:0]
-			expected++
-			off = commitOff + batchCommitSize
-			start = off
-			continue
+			// The speculative probe missed: off is an ordinary frame start.
+			r.ReadDurable(off, hdr[:4])
 		}
-		n := int64(v)
-		if off+4+n+batchCommitSize > r.Size() {
+		n := int64(binary.LittleEndian.Uint32(hdr[:4]))
+		if n == 0 || off+4+n+batchCommitSize > r.Size() {
 			break
 		}
 		pend = append(pend, [2]int64{off + 4, n})

@@ -107,6 +107,10 @@ func TestAppendBatchWrap(t *testing.T) {
 		// its 768 XPLine-padded bytes there would overrun the region, so
 		// the whole batch wraps to 0 and every staged record shifts down.
 		a.Begin()
+		staged := a.BatchStart()
+		if staged != 768 {
+			t.Errorf("provisional batch start = %d, want 768", staged)
+		}
 		if off0, err = a.Add(ctx, r0); err != nil {
 			t.Error(err)
 			return
@@ -114,15 +118,17 @@ func TestAppendBatchWrap(t *testing.T) {
 		if off0 != 772 {
 			t.Errorf("pre-wrap provisional offset = %d, want 772", off0)
 		}
-		off0 = 4 // post-wrap home
 		if off1, err = a.Add(ctx, r1); err != nil {
 			t.Error(err)
 			return
 		}
-		off1 = 308 // post-wrap home
 		if err = a.Commit(ctx); err != nil {
 			t.Error(err)
 		}
+		// Rebase the recorded offsets by how far Commit moved the batch.
+		delta := a.BatchStart() - staged
+		off0 += delta
+		off1 += delta
 		// An Add that cannot fit even after wrapping must error.
 		a.Begin()
 		if _, err := a.Add(ctx, make([]byte, 1024)); err == nil {
@@ -150,6 +156,58 @@ func TestAppendBatchWrap(t *testing.T) {
 	}
 }
 
+// Batches whose zero padding is 1-3 bytes put the padding sentinel and
+// the commit record's magic inside the same 4-byte length-field read, so
+// the recovery walk must probe the commit line at its aligned position
+// instead of misreading the straddled bytes as a record length. Single
+// records of 185/186/187 bytes pad with exactly 3/2/1 bytes; the final
+// batch puts the 185-byte record mid-batch, so the same narrow gap
+// appears where frames continue — the probe must miss and the walk
+// resume on the next frame.
+func TestAppendBatchShortPadding(t *testing.T) {
+	p, ns := testPlatform(t)
+	reg, err := NewRegion(ns, 0, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewPersister(NTStream)
+	a := NewAppender(reg, w)
+	batchesIn := [][]int{{185}, {186}, {187}, {185, 50}}
+	var recs [][]byte
+	p.Go("w", 0, func(ctx *platform.MemCtx) {
+		for b, sizes := range batchesIn {
+			a.Begin()
+			for i, sz := range sizes {
+				rec := pattern(uint64(b*31+i)+11, sz)
+				recs = append(recs, rec)
+				if _, err := a.Add(ctx, rec); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := a.Commit(ctx); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	p.Run()
+	p.Crash()
+	var got [][]byte
+	batches, n := RecoverBatches(reg, func(rec []byte) {
+		got = append(got, append([]byte(nil), rec...))
+	})
+	if batches != len(batchesIn) || n != len(recs) {
+		t.Fatalf("recovered %d batches / %d records, want %d / %d",
+			batches, n, len(batchesIn), len(recs))
+	}
+	for i, rec := range got {
+		if !bytes.Equal(rec, recs[i]) {
+			t.Fatalf("replayed record %d differs", i)
+		}
+	}
+}
+
 // crashSentinel unwinds a simulated thread mid-protocol.
 type crashSentinel struct{}
 
@@ -167,80 +225,92 @@ func TestTornBatchRecovery(t *testing.T) {
 		perBatch  = 3
 	)
 	stages := []string{"staged", "partial", "pre-commit", "pre-fence"}
-	for _, pol := range Policies() {
-		for _, stage := range stages {
-			pol, stage := pol, stage
-			t.Run(fmt.Sprintf("%s/%s", pol, stage), func(t *testing.T) {
-				p, ns := testPlatform(t)
-				reg, err := NewRegion(ns, 0, 64<<10)
-				if err != nil {
-					t.Fatal(err)
-				}
-				w := NewPersister(pol)
-				a := NewAppender(reg, w)
-				var all [][]byte // every record staged, committed or not
-				p.Go("w", 0, func(ctx *platform.MemCtx) {
-					defer func() {
-						if r := recover(); r != nil {
-							if _, ok := r.(crashSentinel); !ok {
-								panic(r)
+	// Two batch geometries: wide zero padding (175 bytes) and the narrow
+	// 3-byte padding that makes the length-field read straddle into the
+	// commit record's magic.
+	profiles := []struct {
+		name string
+		size func(i int) int
+	}{
+		{"pad175", func(i int) int { return 80 + i*7 }},
+		{"pad3", func(i int) int { return 58 + i }},
+	}
+	for _, prof := range profiles {
+		for _, pol := range Policies() {
+			for _, stage := range stages {
+				prof, pol, stage := prof, pol, stage
+				t.Run(fmt.Sprintf("%s/%s/%s", prof.name, pol, stage), func(t *testing.T) {
+					p, ns := testPlatform(t)
+					reg, err := NewRegion(ns, 0, 64<<10)
+					if err != nil {
+						t.Fatal(err)
+					}
+					w := NewPersister(pol)
+					a := NewAppender(reg, w)
+					var all [][]byte // every record staged, committed or not
+					p.Go("w", 0, func(ctx *platform.MemCtx) {
+						defer func() {
+							if r := recover(); r != nil {
+								if _, ok := r.(crashSentinel); !ok {
+									panic(r)
+								}
+							}
+						}()
+						add := func(b, i int) {
+							rec := pattern(uint64(b*97+i)+5, prof.size(i))
+							all = append(all, rec)
+							if _, err := a.Add(ctx, rec); err != nil {
+								t.Error(err)
+								panic(crashSentinel{})
 							}
 						}
-					}()
-					add := func(b, i int) {
-						rec := pattern(uint64(b*97+i)+5, 80+i*7)
-						all = append(all, rec)
-						if _, err := a.Add(ctx, rec); err != nil {
-							t.Error(err)
-							panic(crashSentinel{})
+						for b := 0; b < committed; b++ {
+							a.Begin()
+							for i := 0; i < perBatch; i++ {
+								add(b, i)
+							}
+							if err := a.Commit(ctx); err != nil {
+								t.Error(err)
+								return
+							}
 						}
-					}
-					for b := 0; b < committed; b++ {
+						a.CrashHook = func(s string) {
+							if s == stage {
+								panic(crashSentinel{})
+							}
+						}
 						a.Begin()
 						for i := 0; i < perBatch; i++ {
-							add(b, i)
+							add(committed, i)
 						}
-						if err := a.Commit(ctx); err != nil {
-							t.Error(err)
-							return
+						a.Commit(ctx)
+					})
+					p.Run()
+					p.Crash()
+					var got [][]byte
+					batches, n := RecoverBatches(reg, func(rec []byte) {
+						got = append(got, append([]byte(nil), rec...))
+					})
+					switch stage {
+					case "pre-fence":
+						if batches != committed && batches != committed+1 {
+							t.Fatalf("recovered %d batches, want %d or %d", batches, committed, committed+1)
+						}
+					default:
+						if batches != committed {
+							t.Fatalf("recovered %d batches, want exactly %d", batches, committed)
 						}
 					}
-					a.CrashHook = func(s string) {
-						if s == stage {
-							panic(crashSentinel{})
+					if n != batches*perBatch || len(got) != n {
+						t.Fatalf("recovered %d records over %d batches", n, batches)
+					}
+					for i, rec := range got {
+						if !bytes.Equal(rec, all[i]) {
+							t.Fatalf("replayed record %d differs from the append order", i)
 						}
 					}
-					a.Begin()
-					for i := 0; i < perBatch; i++ {
-						add(committed, i)
-					}
-					a.Commit(ctx)
 				})
-				p.Run()
-				p.Crash()
-				var got [][]byte
-				batches, n := RecoverBatches(reg, func(rec []byte) {
-					got = append(got, append([]byte(nil), rec...))
-				})
-				switch stage {
-				case "pre-fence":
-					if batches != committed && batches != committed+1 {
-						t.Fatalf("recovered %d batches, want %d or %d", batches, committed, committed+1)
-					}
-				default:
-					if batches != committed {
-						t.Fatalf("recovered %d batches, want exactly %d", batches, committed)
-					}
-				}
-				if n != batches*perBatch || len(got) != n {
-					t.Fatalf("recovered %d records over %d batches", n, batches)
-				}
-				for i, rec := range got {
-					if !bytes.Equal(rec, all[i]) {
-						t.Fatalf("replayed record %d differs from the append order", i)
-					}
-				}
-			})
+			}
 		}
 	}
 }

@@ -182,6 +182,10 @@ func (c *Counters) Metrics(m map[string]float64) {
 	if c.BatchOps > 0 {
 		m["pmem_batches"] = float64(c.Batches)
 		m["pmem_batch_ops"] = float64(c.BatchOps)
-		m["pmem_fence_per_op"] = float64(c.Fences) / float64(c.BatchOps)
+		// Batch commits issue exactly one fence each, so Batches IS the
+		// batch path's fence count: the ratio stays the batch path's
+		// amortization even when the same persister also issued unbatched
+		// fenced persists (which Fences would fold in).
+		m["pmem_fence_per_op"] = float64(c.Batches) / float64(c.BatchOps)
 	}
 }

@@ -149,7 +149,7 @@ func (m *CMap) find(ctx *platform.MemCtx, key []byte) (entryMeta, int64, bool) {
 			// path and must not allocate per chain hop (keys longer than the
 			// buffer fall back, matching the old behavior).
 			var kbuf [64]byte
-			k := kbuf[:]
+			var k []byte
 			if meta.keyLen > len(kbuf) {
 				k = make([]byte, meta.keyLen)
 			} else {
