@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 
+	"optanestudy/internal/hottier"
 	"optanestudy/internal/platform"
 	"optanestudy/internal/service"
 )
@@ -35,6 +36,19 @@ type Config struct {
 	// log size (default 2 MiB).
 	PutLog    bool
 	LogRegion int64
+	// CacheBytes > 0 fronts every shard's backend with a DRAM hot tier of
+	// that size, placed on the shard's *worker* socket (data DIMMs may sit
+	// elsewhere under numa-blind placement; hits must not cross UPI).
+	// CacheQuota / CacheAdmit / CacheEvict configure per-tenant quotas,
+	// the admission touch count and the eviction policy; CacheTenantSpan
+	// is the per-tenant key-id width quotas account against; CacheSeed
+	// feeds the per-shard eviction RNGs (derive it from the job seed).
+	CacheBytes      int64
+	CacheQuota      int64
+	CacheAdmit      int
+	CacheEvict      string
+	CacheTenantSpan int64
+	CacheSeed       uint64
 }
 
 // Cluster is the assembled serving fabric: hand Shards and Route to
@@ -44,6 +58,20 @@ type Cluster struct {
 	Router    *Router
 	// Shards are the dispatch targets, one per placement slot.
 	Shards []service.Shard
+	// Tiers are the per-shard DRAM hot tiers (nil entries when CacheBytes
+	// is 0); callers aggregate their counters after a run.
+	Tiers []*hottier.Tier
+}
+
+// CacheCounters merges every shard tier's accounting.
+func (c *Cluster) CacheCounters() hottier.Counters {
+	var sum hottier.Counters
+	for _, t := range c.Tiers {
+		if t != nil {
+			sum.Merge(t.Counters())
+		}
+	}
+	return sum
 }
 
 // Route maps a global key id to its shard (the service dispatch hook).
@@ -90,7 +118,14 @@ func New(p *platform.Platform, cfg Config) (*Cluster, error) {
 	if logRegion == 0 {
 		logRegion = 2 << 20
 	}
-	c := &Cluster{Placement: pl, Router: router, Shards: make([]service.Shard, cfg.Shards)}
+	if cfg.CacheBytes > 0 && cfg.Spec.ValSize <= 0 {
+		return nil, fmt.Errorf("cluster: a cache tier needs the record size (Spec.ValSize), got %d", cfg.Spec.ValSize)
+	}
+	c := &Cluster{
+		Placement: pl, Router: router,
+		Shards: make([]service.Shard, cfg.Shards),
+		Tiers:  make([]*hottier.Tier, cfg.Shards),
+	}
 	for i, sp := range pl.Shards {
 		bs := cfg.Spec
 		bs.Socket = sp.DataSocket
@@ -99,6 +134,21 @@ func New(p *platform.Platform, cfg Config) (*Cluster, error) {
 		be, err := service.NewBackend(p, cfg.Backend, bs)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+		if cfg.CacheBytes > 0 {
+			tier, err := hottier.New(p, be, hottier.Config{
+				Name:          fmt.Sprintf("shard%dcache", i),
+				Socket:        sp.WorkerSocket,
+				CapacityBytes: cfg.CacheBytes, RecordBytes: cfg.Spec.ValSize,
+				Admit: cfg.CacheAdmit, Policy: cfg.CacheEvict,
+				TenantSpan: cfg.CacheTenantSpan, QuotaBytes: cfg.CacheQuota,
+				Seed: cfg.CacheSeed + uint64(i)*0x9E3779B97F4A7C15,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("cluster: shard %d cache: %w", i, err)
+			}
+			c.Tiers[i] = tier
+			be = tier
 		}
 		var plog *service.AppendLog
 		if cfg.PutLog {

@@ -115,6 +115,29 @@ func init() {
 		},
 		Run: runClusterSweep,
 	})
+	// The cache preset fronts each shard's replica with a per-shard DRAM hot
+	// tier on the shard's worker socket and repeats a read-heavy Zipf sweep
+	// with the tier off and on. The cache-0 leg injects no cache params, so
+	// its point specs and seeds reproduce the uncached curve byte-identically;
+	// the cached leg serves repeat GETs from DRAM and moves the knee to
+	// higher offered load. llckb shrinks the simulated LLC so the small
+	// keyspace is not already LLC-resident (which would hide the tier).
+	harness.Register(harness.Scenario{
+		Name: "cluster/sweep-cache",
+		Doc:  "per-shard DRAM hot tier off/on over a read-heavy Zipf sweep",
+		Defaults: harness.Defaults{
+			Threads: 8, Duration: 300 * sim.Microsecond, Seed: 56,
+			Params: map[string]string{
+				"policy": PolicyLocalPacked, "shards": "2",
+				"tenants": "2", "keys": "2000", "valsize": "128",
+				"mix": "zipf", "llckb": "16",
+				"get": "0.95", "put": "0.05", "scan": "0",
+				"minkops": "4000", "maxkops": "28000", "points": "7",
+				"cachegrid": "0,524288",
+			},
+		},
+		Run: runClusterSweep,
+	})
 }
 
 // runClusterPoint measures one open-loop load level through the cluster.
@@ -154,8 +177,28 @@ func runClusterPoint(spec harness.Spec) (harness.Trial, error) {
 	lingerNS := r.Float("linger", 0)
 	pmBytes := r.Int64("pmbytes", 0)
 	dramBytes := r.Int64("drambytes", 0)
+	cacheBytes := r.Int64("cache", 0)
+	quotaBytes := r.Int64("quota", 0)
+	admit := r.Int("admit", 1)
+	evict := r.Str("evict", "clock")
+	tierKind := r.Str("tier", "")
+	llcKB := r.Int64("llckb", 0)
 	if err := r.Err(); err != nil {
 		return harness.Trial{}, err
+	}
+	switch tierKind {
+	case "":
+	case "hot":
+		if cacheBytes <= 0 {
+			return harness.Trial{}, fmt.Errorf("cluster: tier=hot needs a positive cache size, got %d", cacheBytes)
+		}
+	case "memmode":
+		return harness.Trial{}, fmt.Errorf("cluster: tier=memmode is a single-node axis (service/cache/memmode)")
+	default:
+		return harness.Trial{}, fmt.Errorf("cluster: unknown tier %q (want hot)", tierKind)
+	}
+	if llcKB < 0 {
+		return harness.Trial{}, fmt.Errorf("cluster: llckb must be >= 0, got %d", llcKB)
 	}
 	if batch < 1 {
 		return harness.Trial{}, fmt.Errorf("cluster: batch size must be >= 1, got %d", batch)
@@ -211,6 +254,11 @@ func runClusterPoint(spec harness.Spec) (harness.Trial, error) {
 	cfg := platform.DefaultConfig()
 	cfg.TrackData = true
 	cfg.XP.Wear.Enabled = false
+	if llcKB > 0 {
+		// See runPoint: cache scenarios shrink the LLC so the working set
+		// actually reaches the memory tiers.
+		cfg.LLC.Lines = int(llcKB << 10 / 64)
+	}
 	p := platform.MustNew(cfg)
 	defer p.Close()
 
@@ -225,7 +273,10 @@ func runClusterPoint(spec harness.Spec) (harness.Trial, error) {
 			PMBytes: pmBytes, DRAMBytes: dramBytes,
 			ScanSpan: keys, NativeScan: nativeScan,
 		},
-		PutLog: putlog,
+		PutLog:     putlog,
+		CacheBytes: cacheBytes, CacheQuota: quotaBytes,
+		CacheAdmit: admit, CacheEvict: evict,
+		CacheTenantSpan: keys, CacheSeed: spec.Seed ^ 0x407C,
 	})
 	if err != nil {
 		return harness.Trial{}, err
@@ -301,6 +352,11 @@ func runClusterPoint(spec harness.Spec) (harness.Trial, error) {
 		}
 		c.Metrics(m)
 	}
+	// Cache-tier readout merged across shards, gated on the tier being on
+	// (cache-less runs stay byte-stable).
+	if cacheBytes > 0 {
+		cl.CacheCounters().Metrics(m)
+	}
 	return harness.Trial{
 		Ops:     res.Completed,
 		Sim:     res.Window,
@@ -344,59 +400,77 @@ func runClusterSweep(spec harness.Spec) (harness.Trial, error) {
 	if err != nil {
 		return harness.Trial{}, err
 	}
+	cacheGrid, cacheExtras, err := service.CacheGridParams(rest)
+	if err != nil {
+		return harness.Trial{}, err
+	}
 
 	tr := harness.Trial{Metrics: make(map[string]float64)}
 	var text strings.Builder
 	for _, policy := range policies {
 		for _, batch := range batchGrid {
-			params := make(map[string]string, len(rest)+3)
-			for k, v := range service.BatchLegParams(rest, batch, linger) {
-				params[k] = v
-			}
-			params["policy"] = policy
-			curve, err := RunSweep(SweepConfig{
-				Params:  params,
-				Threads: spec.Threads, Duration: spec.Duration, Warmup: spec.Warmup,
-				Seed:    spec.Seed,
-				MinKops: minKops, MaxKops: maxKops, Points: int(pointsF),
-				Parallel: spec.Parallel,
-			})
-			if err != nil {
-				return harness.Trial{}, err
-			}
-			suffix := ""
-			if len(policies) > 1 {
-				suffix = "@" + policy
-			}
-			if len(batchGrid) > 1 {
-				suffix += fmt.Sprintf("@b%d", batch)
-			}
-			service.EmitCurve(&tr, curve, suffix)
-			// Fence amortization at the deepest grid point, present on the
-			// group-commit legs only.
-			if f, ok := curve[len(curve)-1].Metrics["pmem_fence_per_op"]; ok {
-				tr.Metrics["fence_per_op_deep"+suffix] = f
-			}
-			// Deep-overload shed accounting: who gets dropped at the top of
-			// the grid (per-tenant keys appear only once the point sheds).
-			deep := curve[len(curve)-1].Metrics
-			var shedKeys []string
-			for k := range deep {
-				if strings.HasSuffix(k, "_shed_ops") {
-					shedKeys = append(shedKeys, k)
+			for _, cache := range cacheGrid {
+				leg := service.CacheLegParams(service.BatchLegParams(rest, batch, linger), cache, cacheExtras)
+				params := make(map[string]string, len(leg)+1)
+				for k, v := range leg {
+					params[k] = v
 				}
+				params["policy"] = policy
+				curve, err := RunSweep(SweepConfig{
+					Params:  params,
+					Threads: spec.Threads, Duration: spec.Duration, Warmup: spec.Warmup,
+					Seed:    spec.Seed,
+					MinKops: minKops, MaxKops: maxKops, Points: int(pointsF),
+					Parallel: spec.Parallel,
+				})
+				if err != nil {
+					return harness.Trial{}, err
+				}
+				suffix := ""
+				if len(policies) > 1 {
+					suffix = "@" + policy
+				}
+				if len(batchGrid) > 1 {
+					suffix += fmt.Sprintf("@b%d", batch)
+				}
+				if len(cacheGrid) > 1 {
+					suffix += fmt.Sprintf("@c%d", cache)
+				}
+				service.EmitCurve(&tr, curve, suffix)
+				// Fence amortization at the deepest grid point, present on the
+				// group-commit legs only.
+				if f, ok := curve[len(curve)-1].Metrics["pmem_fence_per_op"]; ok {
+					tr.Metrics["fence_per_op_deep"+suffix] = f
+				}
+				// Tier hit rate at the deepest grid point, present on the
+				// cached legs only (same gating as the point metrics).
+				if f, ok := curve[len(curve)-1].Metrics["cache_hit_rate"]; ok {
+					tr.Metrics["cache_hit_rate_deep"+suffix] = f
+				}
+				// Deep-overload shed accounting: who gets dropped at the top of
+				// the grid (per-tenant keys appear only once the point sheds).
+				deep := curve[len(curve)-1].Metrics
+				var shedKeys []string
+				for k := range deep {
+					if strings.HasSuffix(k, "_shed_ops") {
+						shedKeys = append(shedKeys, k)
+					}
+				}
+				sort.Strings(shedKeys)
+				for _, k := range shedKeys {
+					tr.Metrics[k+suffix] = deep[k]
+				}
+				title := fmt.Sprintf("cluster sweep: policy %s, %d shards, %s workers/shard",
+					policy, atoiOr(rest["shards"], 2), workersLabel(spec.Threads))
+				if len(batchGrid) > 1 {
+					title += fmt.Sprintf(", batch %d", batch)
+				}
+				if len(cacheGrid) > 1 {
+					title += fmt.Sprintf(", cache %d B", cache)
+				}
+				text.WriteString(curve.TSV(title))
+				text.WriteByte('\n')
 			}
-			sort.Strings(shedKeys)
-			for _, k := range shedKeys {
-				tr.Metrics[k+suffix] = deep[k]
-			}
-			title := fmt.Sprintf("cluster sweep: policy %s, %d shards, %s workers/shard",
-				policy, atoiOr(rest["shards"], 2), workersLabel(spec.Threads))
-			if len(batchGrid) > 1 {
-				title += fmt.Sprintf(", batch %d", batch)
-			}
-			text.WriteString(curve.TSV(title))
-			text.WriteByte('\n')
 		}
 	}
 	tr.Text = strings.TrimRight(text.String(), "\n")

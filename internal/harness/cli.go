@@ -75,6 +75,8 @@ func CLIMain(argv []string, opts CLIOptions) int {
 	det := fs.Bool("deterministic", false, "suppress wall-clock fields so repeated and parallel runs are byte-identical")
 	batch := fs.Int("batch", 0, "group-commit batch depth for serving scenarios (0 = scenario default; shorthand for -p batch=N)")
 	lingerNS := fs.Float64("linger", -1, "group-commit linger bound in ns for serving scenarios (negative = scenario default; shorthand for -p linger=NS)")
+	cacheBytes := fs.Int64("cache", 0, "DRAM hot-tier capacity in bytes for serving scenarios (0 = scenario default; shorthand for -p cache=N)")
+	quotaBytes := fs.Int64("quota", 0, "per-tenant hot-tier byte quota (0 = scenario default; shorthand for -p quota=N)")
 	params := paramFlag{}
 	fs.Var(params, "p", "scenario param as key=value (repeatable)")
 
@@ -91,6 +93,12 @@ func CLIMain(argv []string, opts CLIOptions) int {
 	}
 	if *lingerNS >= 0 {
 		params["linger"] = strconv.FormatFloat(*lingerNS, 'g', -1, 64)
+	}
+	if *cacheBytes > 0 {
+		params["cache"] = strconv.FormatInt(*cacheBytes, 10)
+	}
+	if *quotaBytes > 0 {
+		params["quota"] = strconv.FormatInt(*quotaBytes, 10)
 	}
 
 	globs := fs.Args()

@@ -71,6 +71,10 @@ type DB struct {
 	pmReg     pmem.Region
 	sstCopier *pmem.Copier
 
+	// getScratch stages SST record loads for GetInto; grown on demand, it
+	// amortizes to zero allocation on the serving read path. Guarded by mu.
+	getScratch []byte
+
 	memNS       *platform.Namespace
 	memBase     int64
 	sstBase     int64
@@ -222,6 +226,25 @@ func (db *DB) Get(ctx *platform.MemCtx, key []byte) ([]byte, bool) {
 		}
 	}
 	return nil, false
+}
+
+// GetInto is the allocation-free Get: the newest value for key lands in
+// dst and its full length is returned (ok reports presence). The lookup
+// issues exactly the loads Get issues — memtable first, then tables
+// newest-first — so simulated timing is identical and only the Go-heap
+// behavior differs (GetInto parity with pmemkv's CMap).
+func (db *DB) GetInto(ctx *platform.MemCtx, key, dst []byte) (int, bool) {
+	db.mu.Lock(ctx.Proc())
+	defer db.mu.Unlock()
+	if n, ok, tomb := db.mem.FindInto(ctx, key, dst); ok || tomb {
+		return n, ok
+	}
+	for i := len(db.ssts) - 1; i >= 0; i-- {
+		if n, ok, tomb := db.ssts[i].findInto(ctx, db.pmReg, key, dst, &db.getScratch); ok || tomb {
+			return n, ok
+		}
+	}
+	return 0, false
 }
 
 // flushLocked writes the memtable to a fresh SST (sequential non-temporal
@@ -377,6 +400,37 @@ func (t *sst) find(ctx *platform.MemCtx, pm pmem.Region, key []byte) (val []byte
 		return nil, false, true
 	}
 	return v, true, false
+}
+
+// findInto is find with the record staged through scratch (grown on
+// demand) and the value copied into dst: the same 4-byte length load and
+// whole-record load as read, with no per-lookup allocation once scratch
+// has reached the table's record size.
+func (t *sst) findInto(ctx *platform.MemCtx, pm pmem.Region, key, dst []byte, scratch *[]byte) (n int, ok, tomb bool) {
+	i := sort.Search(len(t.index), func(i int) bool {
+		return bytes.Compare(t.index[i].key, key) >= 0
+	})
+	if i >= len(t.index) || !bytes.Equal(t.index[i].key, key) {
+		return 0, false, false
+	}
+	ie := t.index[i]
+	var nbuf [4]byte
+	pm.LoadInto(ctx, t.base+ie.off, nbuf[:])
+	recLen := int(binary.LittleEndian.Uint32(nbuf[:]))
+	if recLen > len(*scratch) {
+		*scratch = make([]byte, recLen)
+	}
+	rec := (*scratch)[:recLen]
+	pm.LoadInto(ctx, t.base+ie.off+4, rec)
+	k, v, tomb, err := decodeRecord(rec)
+	if err != nil || !bytes.Equal(k, key) {
+		return 0, false, false
+	}
+	if tomb {
+		return 0, false, true
+	}
+	copy(dst, v)
+	return len(v), true, false
 }
 
 // tombstoneLen is the valLen sentinel marking a delete record (values are

@@ -128,6 +128,21 @@ func (s *Skiplist) nodeKey(ctx *platform.MemCtx, n nodeRef) []byte {
 	return key
 }
 
+// nodeKeyInto loads n's key through buf when it fits (the serving hot path
+// must not allocate per chain hop, matching pmemkv's find); longer keys
+// fall back to a transient buffer. The same bytes travel the memory
+// hierarchy either way, so simulated timing is identical to nodeKey.
+func (s *Skiplist) nodeKeyInto(ctx *platform.MemCtx, n nodeRef, buf []byte) []byte {
+	var key []byte
+	if n.keyLen > len(buf) {
+		key = make([]byte, n.keyLen)
+	} else {
+		key = buf[:n.keyLen]
+	}
+	s.reg.LoadInto(ctx, n.off+nodeHeaderSize+int64(n.height)*8, key)
+	return key
+}
+
 func (s *Skiplist) nodeVal(ctx *platform.MemCtx, n nodeRef) []byte {
 	val := make([]byte, n.valLen)
 	s.reg.LoadInto(ctx, n.off+nodeHeaderSize+int64(n.height)*8+int64(n.keyLen), val)
@@ -137,6 +152,7 @@ func (s *Skiplist) nodeVal(ctx *platform.MemCtx, n nodeRef) []byte {
 // findPredecessors returns, per level, the node after which key belongs.
 func (s *Skiplist) findPredecessors(ctx *platform.MemCtx, key []byte) [maxHeight]nodeRef {
 	var preds [maxHeight]nodeRef
+	var kbuf [64]byte
 	cur := s.loadNode(ctx, s.head)
 	for level := s.height - 1; level >= 0; level-- {
 		for {
@@ -145,7 +161,7 @@ func (s *Skiplist) findPredecessors(ctx *platform.MemCtx, key []byte) [maxHeight
 				break
 			}
 			next := s.loadNode(ctx, nextOff)
-			if bytes.Compare(s.nodeKey(ctx, next), key) >= 0 {
+			if bytes.Compare(s.nodeKeyInto(ctx, next, kbuf[:]), key) >= 0 {
 				break
 			}
 			cur = next
@@ -272,6 +288,38 @@ func (s *Skiplist) Find(ctx *platform.MemCtx, key []byte) (val []byte, ok, tomb 
 		return nil, false, true
 	}
 	return s.nodeVal(ctx, n), true, false
+}
+
+// FindInto is Find with the value landing in dst: the newest value's full
+// length is returned (ok/tomb as in Find) and no allocation happens for
+// keys and values that fit the caller's buffers. A value longer than dst
+// loads through a transient buffer — identical simulated timing, only the
+// Go-heap behavior differs.
+func (s *Skiplist) FindInto(ctx *platform.MemCtx, key, dst []byte) (n int, ok, tomb bool) {
+	preds := s.findPredecessors(ctx, key)
+	nextOff := s.loadNext(ctx, preds[0], 0)
+	if nextOff == 0 {
+		return 0, false, false
+	}
+	nd := s.loadNode(ctx, nextOff)
+	var kbuf [64]byte
+	if !bytes.Equal(s.nodeKeyInto(ctx, nd, kbuf[:]), key) {
+		return 0, false, false
+	}
+	if nd.tomb {
+		return 0, false, true
+	}
+	val := dst
+	if nd.valLen > len(dst) {
+		val = make([]byte, nd.valLen)
+	} else {
+		val = dst[:nd.valLen]
+	}
+	s.reg.LoadInto(ctx, nd.off+nodeHeaderSize+int64(nd.height)*8+int64(nd.keyLen), val)
+	if nd.valLen > len(dst) {
+		copy(dst, val)
+	}
+	return nd.valLen, true, false
 }
 
 // Scan walks entries in key order, newest version first for duplicates,

@@ -28,7 +28,7 @@ type Memory struct {
 	tags  []int64
 	dirty []bool
 
-	hits, misses, writebacks int64
+	hits, misses, writebacks, evictions int64
 }
 
 // New builds a Memory-Mode region on the socket: farSize bytes of 3D XPoint
@@ -61,6 +61,10 @@ func (m *Memory) Stats() (hits, misses, writebacks int64) {
 	return m.hits, m.misses, m.writebacks
 }
 
+// Evictions reports how many valid near-memory lines were replaced by a
+// conflicting fill (writebacks are the dirty subset of these).
+func (m *Memory) Evictions() int64 { return m.evictions }
+
 func (m *Memory) set(lineAddr int64) int64 {
 	return (lineAddr / mem.CacheLine) % m.sets
 }
@@ -75,6 +79,9 @@ func (m *Memory) access(ctx *platform.MemCtx, lineAddr int64, makeDirty bool) in
 		m.hits++
 	} else {
 		m.misses++
+		if m.tags[set] >= 0 {
+			m.evictions++
+		}
 		if m.tags[set] >= 0 && m.dirty[set] {
 			// Write the victim back to far memory.
 			m.writebacks++

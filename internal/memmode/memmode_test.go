@@ -73,6 +73,85 @@ func TestMemoryModeConflictEviction(t *testing.T) {
 	}
 }
 
+// Direct-mapped conflict sequence a,b,c,a (one wrap apart, same set): every
+// access after the first replaces the previous resident, and the eviction
+// counter tracks exactly that order — clean replacements count as evictions
+// but never as writebacks.
+func TestMemoryModeConflictEvictionOrder(t *testing.T) {
+	p, m := newMM(t, 4096, 1<<20)
+	p.Go("t", 0, func(ctx *platform.MemCtx) {
+		wrap := m.sets * 64
+		lines := []int64{0, wrap, 2 * wrap, 0}
+		want := []int64{0, 1, 2, 3} // evictions after each access
+		for i, addr := range lines {
+			m.Load(ctx, addr, 8, nil)
+			if m.Evictions() != want[i] {
+				t.Errorf("after access %d: evictions=%d, want %d", i, m.Evictions(), want[i])
+			}
+			if m.tags[m.set(addr)] != addr {
+				t.Errorf("after access %d: set holds %d, want %d", i, m.tags[m.set(addr)], addr)
+			}
+		}
+	})
+	p.Run()
+	hits, misses, wb := m.Stats()
+	if hits != 0 || misses != 4 {
+		t.Errorf("hits=%d misses=%d, want 0/4 (every conflict access misses)", hits, misses)
+	}
+	if wb != 0 {
+		t.Errorf("writebacks=%d, want 0 (clean lines are dropped, not written back)", wb)
+	}
+}
+
+// Writebacks are the dirty subset of evictions: a dirty victim is written
+// to far memory, a clean one is dropped. The far image must only change at
+// the writeback, never at the store.
+func TestMemoryModeWritebackAccounting(t *testing.T) {
+	p, m := newMM(t, 4096, 1<<20)
+	p.Go("t", 0, func(ctx *platform.MemCtx) {
+		wrap := m.sets * 64
+		m.Store(ctx, 0, 8, []byte("dirtyabc")) // a resident dirty
+		m.Load(ctx, wrap, 8, nil)              // evicts dirty a: writeback
+		m.Load(ctx, 0, 8, nil)                 // evicts clean b: no writeback
+		m.Load(ctx, wrap, 8, nil)              // evicts clean a: no writeback
+	})
+	p.Run()
+	_, _, wb := m.Stats()
+	if wb != 1 {
+		t.Errorf("writebacks=%d, want exactly 1 (only the dirty victim)", wb)
+	}
+	if ev := m.Evictions(); ev != 3 {
+		t.Errorf("evictions=%d, want 3", ev)
+	}
+	buf := make([]byte, 8)
+	m.far.ReadDurable(0, buf)
+	if string(buf) != "dirtyabc" {
+		t.Errorf("far memory after writeback holds %q, want the dirty line", buf)
+	}
+}
+
+// Repeated access to one resident line is all hits after the first fill —
+// the counters must not drift under rereads or rewrites of a cached line.
+func TestMemoryModeRepeatedLineCounters(t *testing.T) {
+	p, m := newMM(t, 1<<20, 16<<20)
+	p.Go("t", 0, func(ctx *platform.MemCtx) {
+		for i := 0; i < 10; i++ {
+			m.Load(ctx, 4096, 8, nil)
+		}
+		for i := 0; i < 5; i++ {
+			m.Store(ctx, 4096, 8, []byte("rewrites"))
+		}
+	})
+	p.Run()
+	hits, misses, wb := m.Stats()
+	if misses != 1 || hits != 14 {
+		t.Errorf("hits=%d misses=%d, want 14/1 (one fill, then resident)", hits, misses)
+	}
+	if wb != 0 || m.Evictions() != 0 {
+		t.Errorf("writebacks=%d evictions=%d, want 0/0 (line never displaced)", wb, m.Evictions())
+	}
+}
+
 func TestMemoryModeHidesXPLatencyWhenHot(t *testing.T) {
 	p, m := newMM(t, 1<<20, 64<<20)
 	var hot, cold sim.Time

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"optanestudy/internal/lsmkv"
+	"optanestudy/internal/memmode"
 	"optanestudy/internal/platform"
 	"optanestudy/internal/pmemkv"
 	"optanestudy/internal/pmemobj"
@@ -112,6 +113,9 @@ type BackendSpec struct {
 	// NativeScan routes lsmkv scans through the sorted merge iterator
 	// instead of the emulated point-lookup loop.
 	NativeScan bool
+	// NearBytes sizes the near-DRAM hardware cache of the "memmode"
+	// backend (ignored by the others).
+	NearBytes int64
 }
 
 // lsmkvMemtableBytes is the serving backends' memtable cap.
@@ -267,6 +271,10 @@ func (b *lsmBackend) Get(ctx *platform.MemCtx, key []byte) ([]byte, bool) {
 	return b.db.Get(ctx, key)
 }
 
+func (b *lsmBackend) GetInto(ctx *platform.MemCtx, key, dst []byte) (int, bool) {
+	return b.db.GetInto(ctx, key, dst)
+}
+
 func (b *lsmBackend) Put(ctx *platform.MemCtx, key, val []byte) error {
 	return b.db.Set(ctx, key, val)
 }
@@ -333,14 +341,130 @@ func NewLSMKV(p *platform.Platform, bs BackendSpec) (Backend, error) {
 	return &lsmBackend{db: db, span: bs.ScanSpan, keySize: bs.KeySize, native: bs.NativeScan}, nil
 }
 
-// NewBackend builds the named backend ("pmemkv" or "lsmkv"), preloaded.
+// memModeBackend is the Memory-Mode configuration of the serving
+// experiment: the whole record store lives in one large volatile address
+// space — far 3D XPoint behind the memory controller's direct-mapped
+// near-DRAM cache — so DRAM caching is done by hardware at 64 B line
+// granularity instead of by an explicit software hot tier, and nothing is
+// durable (Section 2.1.2). Records sit flat at id × valSize; presence is
+// volatile bookkeeping, mirroring a hash-index-in-main-memory design whose
+// index probes are free (the axis under study is the data path).
+type memModeBackend struct {
+	mm      *memmode.Memory
+	keys    int64
+	keySize int
+	valSize int
+	span    int64
+	present []bool
+}
+
+func (b *memModeBackend) recOff(id int64) int64 { return id * int64(b.valSize) }
+
+func (b *memModeBackend) Get(ctx *platform.MemCtx, key []byte) ([]byte, bool) {
+	id := KeyID(key)
+	if id < 0 || id >= b.keys || !b.present[id] {
+		return nil, false
+	}
+	val := make([]byte, b.valSize)
+	b.mm.Load(ctx, b.recOff(id), len(val), val)
+	return val, true
+}
+
+func (b *memModeBackend) GetInto(ctx *platform.MemCtx, key, dst []byte) (int, bool) {
+	id := KeyID(key)
+	if id < 0 || id >= b.keys || !b.present[id] {
+		return 0, false
+	}
+	val := dst
+	if b.valSize > len(dst) {
+		val = make([]byte, b.valSize)
+	} else {
+		val = dst[:b.valSize]
+	}
+	b.mm.Load(ctx, b.recOff(id), len(val), val)
+	if b.valSize > len(dst) {
+		copy(dst, val)
+	}
+	return b.valSize, true
+}
+
+func (b *memModeBackend) Put(ctx *platform.MemCtx, key, val []byte) error {
+	id := KeyID(key)
+	if id < 0 || id >= b.keys {
+		return fmt.Errorf("service: memmode key id %d outside the preloaded [0, %d) range", id, b.keys)
+	}
+	if len(val) > b.valSize {
+		return fmt.Errorf("service: memmode value (%d bytes) exceeds the %d-byte record", len(val), b.valSize)
+	}
+	b.mm.Store(ctx, b.recOff(id), len(val), val)
+	b.present[id] = true
+	return nil
+}
+
+func (b *memModeBackend) Scan(ctx *platform.MemCtx, key []byte, n int) int {
+	return emulateScan(ctx, b.Get, key, n, b.span, b.keySize)
+}
+
+func (b *memModeBackend) Delete(ctx *platform.MemCtx, key []byte) error {
+	id := KeyID(key)
+	if id >= 0 && id < b.keys {
+		b.present[id] = false
+	}
+	return nil
+}
+
+// Stats exposes the hardware cache counters for the harness metrics.
+func (b *memModeBackend) Stats() *memmode.Memory { return b.mm }
+
+// NewMemModeKV builds the Memory-Mode record store, preloaded like the
+// persistent backends. bs.NearBytes sizes the near-DRAM cache; the far
+// region holds the whole record payload.
+func NewMemModeKV(p *platform.Platform, bs BackendSpec) (Backend, error) {
+	if err := bs.normalize(); err != nil {
+		return nil, err
+	}
+	if bs.NearBytes <= 0 {
+		return nil, fmt.Errorf("service: memmode backend needs a positive near-DRAM size, got %d", bs.NearBytes)
+	}
+	far := bs.Keys * int64(bs.ValSize)
+	if far < bs.NearBytes {
+		far = bs.NearBytes // memmode requires far >= near
+	}
+	mm, err := memmode.New(p, bs.NamePrefix+"-mm", bs.Socket, bs.NearBytes, far)
+	if err != nil {
+		return nil, err
+	}
+	b := &memModeBackend{
+		mm: mm, keys: bs.Keys, keySize: bs.KeySize, valSize: bs.ValSize,
+		span: bs.ScanSpan, present: make([]bool, bs.Keys),
+	}
+	var loadErr error
+	p.Go(bs.NamePrefix+"-load", bs.Socket, func(ctx *platform.MemCtx) {
+		for id := int64(0); id < bs.Keys; id++ {
+			if err := b.Put(ctx, KeyFor(id, bs.KeySize), ValFor(id, bs.ValSize)); err != nil {
+				loadErr = err
+				return
+			}
+		}
+	})
+	p.Run()
+	if loadErr != nil {
+		return nil, loadErr
+	}
+	return b, nil
+}
+
+// NewBackend builds the named backend ("pmemkv", "lsmkv" or "memmode"),
+// preloaded.
 func NewBackend(p *platform.Platform, name string, bs BackendSpec) (Backend, error) {
 	switch name {
 	case "pmemkv":
 		return NewPMemKV(p, bs)
 	case "lsmkv":
 		return NewLSMKV(p, bs)
+	case "memmode":
+		return NewMemModeKV(p, bs)
 	default:
-		return nil, fmt.Errorf("service: unknown backend %q (want pmemkv or lsmkv)", name)
+		return nil, fmt.Errorf("service: unknown backend %q (want pmemkv, lsmkv or memmode)", name)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"optanestudy/internal/hottier"
 	"optanestudy/internal/platform"
 	"optanestudy/internal/sim"
 	"optanestudy/internal/stats"
@@ -24,6 +25,15 @@ type dispatchHarness struct {
 }
 
 func newDispatchHarness(tb testing.TB, batchSize int) *dispatchHarness {
+	return newDispatchHarnessOpts(tb, batchSize, "pmemkv", 0)
+}
+
+// newDispatchHarnessOpts builds the harness over a chosen backend, optionally
+// fronted by a DRAM hot tier of cacheBytes (0 = uncached). cacheBytes large
+// enough for the whole 400-record keyspace pins the cached-HIT path;
+// smaller caches keep the tier churning and pin the miss-FILL path
+// (victim scan, detach, NT slot install) instead.
+func newDispatchHarnessOpts(tb testing.TB, batchSize int, backend string, cacheBytes int64) *dispatchHarness {
 	tb.Helper()
 	pcfg := platform.DefaultConfig()
 	pcfg.TrackData = true
@@ -31,9 +41,19 @@ func newDispatchHarness(tb testing.TB, batchSize int) *dispatchHarness {
 	p := platform.MustNew(pcfg)
 	tb.Cleanup(p.Close)
 	spec := BackendSpec{Media: "optane", Keys: 400, KeySize: 16, ValSize: 128, ScanSpan: 200}
-	be, err := NewPMemKV(p, spec)
+	be, err := NewBackend(p, backend, spec)
 	if err != nil {
 		tb.Fatal(err)
+	}
+	if cacheBytes > 0 {
+		tier, err := hottier.New(p, be, hottier.Config{
+			Name: "dispatch", CapacityBytes: cacheBytes, RecordBytes: spec.ValSize,
+			TenantSpan: spec.Keys, Seed: 7,
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		be = tier
 	}
 	plog, err := NewAppendLog(p, BackendSpec{Media: "optane", NamePrefix: "dispatch-log"}, 1, 1<<20)
 	if err != nil {
@@ -88,59 +108,91 @@ func (h *dispatchHarness) step(ctx *platform.MemCtx) error {
 // windows, the XPBuffer's entry pool) reach its high-water mark; after
 // that, a dispatched op that touches the Go heap is a regression.
 func TestDispatchZeroAlloc(t *testing.T) {
-	h := newDispatchHarness(t, 8)
-	var avg float64
-	var stepErr error
-	h.p.Go("dispatch", 0, func(ctx *platform.MemCtx) {
-		for i := 0; i < 400; i++ { // warmup: past the queue-ring trim cycle
-			if stepErr = h.step(ctx); stepErr != nil {
-				return
+	// cached-hit: the tier holds the whole keyspace, so warmed-up GETs stay
+	// in DRAM. miss-fill: the tier holds 1/4 of it, so steady state keeps
+	// evicting and installing slots. lsmkv pins DB.GetInto (memtable probe
+	// + SST binary search into the per-DB scratch).
+	variants := []struct {
+		name    string
+		backend string
+		cache   int64
+	}{
+		{"pmemkv", "pmemkv", 0},
+		{"cached-hit", "pmemkv", 400 * 128},
+		{"miss-fill", "pmemkv", 100 * 128},
+		{"lsmkv-getinto", "lsmkv", 0},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			h := newDispatchHarnessOpts(t, 8, v.backend, v.cache)
+			var avg float64
+			var stepErr error
+			h.p.Go("dispatch", 0, func(ctx *platform.MemCtx) {
+				for i := 0; i < 400; i++ { // warmup: past the queue-ring trim cycle
+					if stepErr = h.step(ctx); stepErr != nil {
+						return
+					}
+				}
+				avg = testing.AllocsPerRun(100, func() {
+					if err := h.step(ctx); err != nil && stepErr == nil {
+						stepErr = err
+					}
+				})
+			})
+			h.p.Run()
+			if stepErr != nil {
+				t.Fatal(stepErr)
 			}
-		}
-		avg = testing.AllocsPerRun(100, func() {
-			if err := h.step(ctx); err != nil && stepErr == nil {
-				stepErr = err
+			if avg != 0 {
+				t.Fatalf("steady-state dispatch allocates: %.2f allocs per batch, want 0", avg)
+			}
+			if h.sh.completed == 0 || h.st.tenants[0].Completed != h.sh.completed {
+				t.Fatalf("harness recorded %d/%d completions", h.sh.completed, h.st.tenants[0].Completed)
+			}
+			if tier, ok := h.shard.Backend.(*hottier.Tier); ok {
+				c := tier.Counters()
+				if v.name == "cached-hit" && c.Hits == 0 {
+					t.Fatal("cached-hit variant never hit the tier")
+				}
+				if v.name == "miss-fill" && c.Evictions == 0 {
+					t.Fatal("miss-fill variant never evicted")
+				}
 			}
 		})
-	})
-	h.p.Run()
-	if stepErr != nil {
-		t.Fatal(stepErr)
-	}
-	if avg != 0 {
-		t.Fatalf("steady-state dispatch allocates: %.2f allocs per batch, want 0", avg)
-	}
-	if h.sh.completed == 0 || h.st.tenants[0].Completed != h.sh.completed {
-		t.Fatalf("harness recorded %d/%d completions", h.sh.completed, h.st.tenants[0].Completed)
 	}
 }
 
 // BenchmarkDispatchAllocs reports the dispatch path's per-op cost and
 // allocation rate at the sweep's batch depths; allocs/op must be 0.
 func BenchmarkDispatchAllocs(b *testing.B) {
-	for _, depth := range []int{8, 32} {
-		b.Run(fmt.Sprintf("batch=%d", depth), func(b *testing.B) {
-			h := newDispatchHarness(b, depth)
-			var stepErr error
-			h.p.Go("dispatch", 0, func(ctx *platform.MemCtx) {
-				for i := 0; i < 400; i++ {
-					if stepErr = h.step(ctx); stepErr != nil {
-						return
+	for _, bk := range []struct {
+		name  string
+		cache int64
+	}{{"uncached", 0}, {"cached", 400 * 128}} {
+		for _, depth := range []int{8, 32} {
+			b.Run(fmt.Sprintf("%s/batch=%d", bk.name, depth), func(b *testing.B) {
+				h := newDispatchHarnessOpts(b, depth, "pmemkv", bk.cache)
+				var stepErr error
+				h.p.Go("dispatch", 0, func(ctx *platform.MemCtx) {
+					for i := 0; i < 400; i++ {
+						if stepErr = h.step(ctx); stepErr != nil {
+							return
+						}
 					}
-				}
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					if err := h.step(ctx); err != nil {
-						stepErr = err
-						return
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := h.step(ctx); err != nil {
+							stepErr = err
+							return
+						}
 					}
+				})
+				h.p.Run()
+				if stepErr != nil {
+					b.Fatal(stepErr)
 				}
 			})
-			h.p.Run()
-			if stepErr != nil {
-				b.Fatal(stepErr)
-			}
-		})
+		}
 	}
 }

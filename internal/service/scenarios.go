@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"optanestudy/internal/harness"
+	"optanestudy/internal/hottier"
 	"optanestudy/internal/platform"
 	"optanestudy/internal/sim"
 )
@@ -120,6 +121,73 @@ func init() {
 		},
 		Run: runPoint,
 	})
+	// The cache family puts the DRAM hot tier in front of the PM backend:
+	// a read-heavy Zipf mix over a keyspace much larger than the
+	// (deliberately shrunk) LLC, so GETs that the tier absorbs run at DRAM
+	// latency while misses pay the 3D XPoint read path. The sweep repeats
+	// the load grid per tier size (cachegrid, @c<N> suffixes, size-0 leg
+	// byte-identical to an uncached sweep) and the memmode point runs the
+	// competing configuration: the same DRAM budget spent as the memory
+	// controller's near cache instead of a software record tier.
+	harness.Register(harness.Scenario{
+		Name: "service/cache/point",
+		Doc:  "read-heavy Zipf serving with a DRAM hot tier fronting pmemkv",
+		Defaults: harness.Defaults{
+			Threads: 8, Duration: 400 * sim.Microsecond, Seed: 41,
+			Params: map[string]string{
+				"backend": "pmemkv", "mix": "zipf",
+				"keys": "2000", "valsize": "128", "llckb": "16",
+				"get": "0.95", "put": "0.05", "scan": "0",
+				"offered": "8000", "cache": "262144",
+			},
+		},
+		Run: runPoint,
+	})
+	harness.Register(harness.Scenario{
+		Name: "service/cache/memmode",
+		Doc:  "the same DRAM budget as Memory-Mode: hardware near cache instead of a software hot tier",
+		Defaults: harness.Defaults{
+			Threads: 8, Duration: 400 * sim.Microsecond, Seed: 41,
+			Params: map[string]string{
+				"tier": "memmode", "mix": "zipf",
+				"keys": "2000", "valsize": "128", "llckb": "16",
+				"get": "0.95", "put": "0.05", "scan": "0",
+				"offered": "8000", "cache": "262144",
+			},
+		},
+		Run: runPoint,
+	})
+	harness.Register(harness.Scenario{
+		Name: "service/cache/sweep",
+		Doc:  "saturation curves per DRAM tier size on a read-heavy Zipf mix (knee vs cache size)",
+		Defaults: harness.Defaults{
+			Threads: 8, Duration: 300 * sim.Microsecond, Seed: 42,
+			Params: map[string]string{
+				"backend": "pmemkv", "mix": "zipf",
+				"keys": "2000", "valsize": "128", "llckb": "16",
+				"get": "0.95", "put": "0.05", "scan": "0",
+				"minkops": "4000", "maxkops": "28000", "points": "7",
+				"cachegrid": "0,65536,524288",
+			},
+		},
+		Run: runSweepScenario,
+	})
+	harness.Register(harness.Scenario{
+		Name: "service/cache/sweep-hotspot",
+		Doc:  "tier sizes under a shifting hotspot: the moving working set churns the tier",
+		Defaults: harness.Defaults{
+			Threads: 8, Duration: 300 * sim.Microsecond, Seed: 43,
+			Params: map[string]string{
+				"backend": "pmemkv", "mix": "hotspot",
+				"hotfrac": "0.9", "hotkeys": "200", "hotperiod": "400",
+				"keys": "2000", "valsize": "128", "llckb": "16",
+				"get": "0.95", "put": "0.05", "scan": "0",
+				"minkops": "4000", "maxkops": "28000", "points": "7",
+				"cachegrid": "0,524288",
+			},
+		},
+		Run: runSweepScenario,
+	})
 	harness.Register(harness.Scenario{
 		Name: "service/batch/sweep",
 		Doc:  "group-commit saturation curves at batch depths 1/8/32 on a single DIMM",
@@ -169,8 +237,33 @@ func runPoint(spec harness.Spec) (harness.Trial, error) {
 	lingerNS := r.Float("linger", 0)
 	pmBytes := r.Int64("pmbytes", 0)
 	dramBytes := r.Int64("drambytes", 0)
+	cacheBytes := r.Int64("cache", 0)
+	quotaBytes := r.Int64("quota", 0)
+	admit := r.Int("admit", 1)
+	evict := r.Str("evict", "clock")
+	tierKind := r.Str("tier", "")
+	llcKB := r.Int64("llckb", 0)
 	if err := r.Err(); err != nil {
 		return harness.Trial{}, err
+	}
+	switch tierKind {
+	case "":
+		if cacheBytes > 0 {
+			tierKind = "hot"
+		}
+	case "hot":
+		if cacheBytes <= 0 {
+			return harness.Trial{}, fmt.Errorf("service: tier=hot needs a positive cache size, got %d", cacheBytes)
+		}
+	case "memmode":
+		if cacheBytes <= 0 {
+			return harness.Trial{}, fmt.Errorf("service: tier=memmode needs a positive cache (near-DRAM) size, got %d", cacheBytes)
+		}
+	default:
+		return harness.Trial{}, fmt.Errorf("service: unknown tier %q (want hot or memmode)", tierKind)
+	}
+	if llcKB < 0 {
+		return harness.Trial{}, fmt.Errorf("service: llckb must be >= 0, got %d", llcKB)
 	}
 	if batch < 1 {
 		return harness.Trial{}, fmt.Errorf("service: batch size must be >= 1, got %d", batch)
@@ -196,17 +289,42 @@ func runPoint(spec harness.Spec) (harness.Trial, error) {
 	cfg := platform.DefaultConfig()
 	cfg.TrackData = true
 	cfg.XP.Wear.Enabled = false
+	if llcKB > 0 {
+		// Cache scenarios shrink the LLC so the working set actually lives
+		// beyond it: with the calibrated 12 MB LLC, a small keyspace becomes
+		// LLC-resident after warmup and a DRAM tier would measure nothing.
+		cfg.LLC.Lines = int(llcKB << 10 / 64)
+	}
 	p := platform.MustNew(cfg)
 	defer p.Close()
 
-	be, err := NewBackend(p, backend, BackendSpec{
+	bspec := BackendSpec{
 		Media: media, Mode: mode,
 		Keys: int64(tenants) * keys, KeySize: keySize, ValSize: valSize,
 		PMBytes: pmBytes, DRAMBytes: dramBytes,
 		ScanSpan: keys, NativeScan: nativeScan,
-	})
+	}
+	if tierKind == "memmode" {
+		backend = "memmode"
+		bspec.NearBytes = cacheBytes
+	}
+	be, err := NewBackend(p, backend, bspec)
 	if err != nil {
 		return harness.Trial{}, err
+	}
+	var hotTier *hottier.Tier
+	if tierKind == "hot" {
+		hotTier, err = hottier.New(p, be, hottier.Config{
+			Name: "svc", Socket: spec.Socket,
+			CapacityBytes: cacheBytes, RecordBytes: valSize,
+			Admit: admit, Policy: evict,
+			TenantSpan: keys, QuotaBytes: quotaBytes,
+			Seed: spec.Seed ^ 0x407C,
+		})
+		if err != nil {
+			return harness.Trial{}, err
+		}
+		be = hotTier
 	}
 	arr, err := NewArrival(arrival, offered*1e3, sim.Micros(cycleUS), onFrac, spec.Seed^0x5A17)
 	if err != nil {
@@ -294,6 +412,23 @@ func runPoint(spec harness.Spec) (harness.Trial, error) {
 		c := plog.Counters()
 		c.Metrics(m)
 	}
+	// Cache-tier readout, gated the same way: only runs with an explicit
+	// DRAM tier (software hot tier or Memory-Mode near cache) emit the
+	// cache_* keys, so every pre-existing scenario stays byte-stable.
+	if hotTier != nil {
+		hotTier.Counters().Metrics(m)
+	} else if mb, ok := be.(*memModeBackend); ok {
+		hits, misses, writebacks := mb.Stats().Stats()
+		m["cache_hits"] = float64(hits)
+		m["cache_misses"] = float64(misses)
+		m["cache_evictions"] = float64(mb.Stats().Evictions())
+		if hits+misses > 0 {
+			m["cache_hit_rate"] = float64(hits) / float64(hits+misses)
+		} else {
+			m["cache_hit_rate"] = 0
+		}
+		m["memmode_writebacks"] = float64(writebacks)
+	}
 	return harness.Trial{
 		Ops:     res.Completed,
 		Sim:     res.Window,
@@ -348,36 +483,56 @@ func runSweepScenario(spec harness.Spec) (harness.Trial, error) {
 	if err != nil {
 		return harness.Trial{}, err
 	}
+	cacheGrid, cacheExtras, err := CacheGridParams(rest)
+	if err != nil {
+		return harness.Trial{}, err
+	}
 
 	tr := harness.Trial{Metrics: make(map[string]float64)}
 	var text strings.Builder
 	for _, threads := range threadGrid {
 		for _, batch := range batchGrid {
-			params := BatchLegParams(rest, batch, linger)
-			curve, err := RunSweep(SweepConfig{
-				Backend: backend, Params: params,
-				Threads: threads, Duration: spec.Duration, Warmup: spec.Warmup,
-				Seed:    spec.Seed,
-				MinKops: minKops, MaxKops: maxKops, Points: int(pointsF),
-				Parallel: spec.Parallel,
-			})
-			if err != nil {
-				return harness.Trial{}, err
+			for _, cache := range cacheGrid {
+				params := CacheLegParams(BatchLegParams(rest, batch, linger), cache, cacheExtras)
+				curve, err := RunSweep(SweepConfig{
+					Backend: backend, Params: params,
+					Threads: threads, Duration: spec.Duration, Warmup: spec.Warmup,
+					Seed:    spec.Seed,
+					MinKops: minKops, MaxKops: maxKops, Points: int(pointsF),
+					Parallel: spec.Parallel,
+				})
+				if err != nil {
+					return harness.Trial{}, err
+				}
+				suffix := ""
+				if len(threadGrid) > 1 {
+					suffix += fmt.Sprintf("@t%d", threads)
+				}
+				if len(batchGrid) > 1 {
+					suffix += fmt.Sprintf("@b%d", batch)
+				}
+				if len(cacheGrid) > 1 {
+					suffix += fmt.Sprintf("@c%d", cache)
+				}
+				EmitCurve(&tr, curve, suffix)
+				// Cached legs add their curve-level cache readout (hit rate at
+				// the deepest load, where the tier is warmest, plus the knee's
+				// p50); the cache-less legs emit nothing extra, keeping them
+				// byte-identical to a sweep without the cache axis.
+				if cache > 0 {
+					tr.Metrics["cache_hit_rate"+suffix] = curve[len(curve)-1].Metrics["cache_hit_rate"]
+					tr.Metrics["p50_knee_ns"+suffix] = curve[curve.KneeIndex()].P50
+				}
+				title := fmt.Sprintf("service sweep: %s, %d workers", backend, threads)
+				if len(batchGrid) > 1 {
+					title += fmt.Sprintf(", batch %d", batch)
+				}
+				if len(cacheGrid) > 1 {
+					title += fmt.Sprintf(", cache %d B", cache)
+				}
+				text.WriteString(curve.TSV(title))
+				text.WriteByte('\n')
 			}
-			suffix := ""
-			if len(threadGrid) > 1 {
-				suffix += fmt.Sprintf("@t%d", threads)
-			}
-			if len(batchGrid) > 1 {
-				suffix += fmt.Sprintf("@b%d", batch)
-			}
-			EmitCurve(&tr, curve, suffix)
-			title := fmt.Sprintf("service sweep: %s, %d workers", backend, threads)
-			if len(batchGrid) > 1 {
-				title += fmt.Sprintf(", batch %d", batch)
-			}
-			text.WriteString(curve.TSV(title))
-			text.WriteByte('\n')
 		}
 	}
 	tr.Text = strings.TrimRight(text.String(), "\n")
@@ -423,6 +578,62 @@ func BatchLegParams(base map[string]string, batch int, linger string) map[string
 	params["batch"] = strconv.Itoa(batch)
 	if linger != "" {
 		params["linger"] = linger
+	}
+	return params
+}
+
+// CacheGridParams consumes the hot-tier sweep params: "cachegrid" (a
+// comma-separated list of DRAM tier sizes in bytes; 0 is the uncached
+// leg, and the default grid is just that) plus the companions that reach
+// only the cached legs — "cachequota", "cacheadmit", "cacheevict" and
+// "cachetier" map onto the point scenario's quota/admit/evict/tier
+// params. Shared by the service and cluster sweep scenarios.
+func CacheGridParams(params map[string]string) (grid []int64, extras map[string]string, err error) {
+	grid = []int64{0}
+	if cg, ok := params["cachegrid"]; ok {
+		delete(params, "cachegrid")
+		grid = grid[:0]
+		for _, s := range strings.Split(cg, ",") {
+			n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil || n < 0 {
+				return nil, nil, fmt.Errorf("param cachegrid=%q: want comma-separated byte sizes >= 0", cg)
+			}
+			grid = append(grid, n)
+		}
+	}
+	for param, key := range map[string]string{
+		"cachequota": "quota",
+		"cacheadmit": "admit",
+		"cacheevict": "evict",
+		"cachetier":  "tier",
+	} {
+		if v, ok := params[param]; ok {
+			delete(params, param)
+			if extras == nil {
+				extras = make(map[string]string)
+			}
+			extras[key] = v
+		}
+	}
+	return grid, extras, nil
+}
+
+// CacheLegParams renders one cache-grid leg's point params: size 0 passes
+// base through untouched (no cache keys — the uncached leg's specs, and
+// so their derived seeds and results, stay byte-identical to a sweep with
+// no cache axis), larger sizes copy base and add cache plus the
+// companions.
+func CacheLegParams(base map[string]string, cache int64, extras map[string]string) map[string]string {
+	if cache <= 0 {
+		return base
+	}
+	params := make(map[string]string, len(base)+1+len(extras))
+	for k, v := range base {
+		params[k] = v
+	}
+	params["cache"] = strconv.FormatInt(cache, 10)
+	for k, v := range extras {
+		params[k] = v
 	}
 	return params
 }
