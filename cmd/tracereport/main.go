@@ -1,0 +1,223 @@
+// Command tracereport renders an optanestudy-trace/v1 JSONL stream (the
+// -trace output of the bench CLIs) for humans: a per-run phase-breakdown
+// table and top-K slowest-ops table, or, with -timeline, each run's
+// timeline as CSV with the cumulative counters differenced into
+// per-interval rates (throughput, shed fraction, queue depth, per-shard
+// share, windowed EWR, cache hit rate, batch fill).
+//
+// Usage:
+//
+//	tracereport trace.jsonl
+//	tracereport -timeline trace.jsonl > timeline.csv
+//	servebench -trace=/dev/stdout cluster/hotspot | tracereport -timeline -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"optanestudy/internal/telemetry"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracereport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "tracereport: render an %s JSONL stream\n\n", telemetry.TraceSchema)
+		fmt.Fprintf(stderr, "usage: tracereport [flags] <trace.jsonl | ->\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	timeline := fs.Bool("timeline", false, "render each run's timeline as interval-differenced CSV instead of the span tables")
+	if err := fs.Parse(argv); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	var in io.Reader = os.Stdin
+	if path := fs.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "tracereport: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	}
+	entries, err := telemetry.ReadJSONL(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "tracereport: %v\n", err)
+		return 1
+	}
+	for _, e := range entries {
+		for _, rn := range e.Trace.Runs {
+			title := fmt.Sprintf("%s trial %d", e.Scenario, e.Trial)
+			if rn.Label != "" {
+				title += " [" + rn.Label + "]"
+			}
+			if *timeline {
+				renderTimeline(stdout, title, rn)
+			} else {
+				renderRun(stdout, title, rn)
+			}
+		}
+	}
+	return 0
+}
+
+// renderRun prints one run's phase breakdown and slowest-ops tables.
+func renderRun(w io.Writer, title string, rn *telemetry.Run) {
+	fmt.Fprintf(w, "== %s  ops=%d sheds=%d samples=%d\n", title, rn.Ops, rn.Sheds, len(rn.Samples))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "phase\tcount\tmean_ns\tp50_ns\tp99_ns\tmax_ns")
+	for _, ps := range rn.Phases {
+		if ps.Count == 0 {
+			fmt.Fprintf(tw, "%s\t0\t-\t-\t-\t-\n", ps.Phase)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.4g\t%.4g\t%.4g\t%.4g\n",
+			ps.Phase, ps.Count, ps.MeanNS, ps.P50NS, ps.P99NS, ps.MaxNS)
+	}
+	tw.Flush()
+	if len(rn.Slowest) > 0 {
+		fmt.Fprintln(w, "slowest ops:")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "rank\top\ttenant\tshard\tworker\tkey\tbatch\thit\tarrival_ns\ttotal_ns\tqueue_ns\tbatch_ns\tservice_ns\tpersist_ns")
+		for _, s := range rn.Slowest {
+			hit := "-"
+			switch s.CacheHit {
+			case 1:
+				hit = "y"
+			case 0:
+				hit = "n"
+			}
+			fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d\t%d\t%s\t%.4g\t%.4g\t%.4g\t%.4g\t%.4g\t%.4g\n",
+				s.Rank, s.Op, s.Tenant, s.Shard, s.Worker, s.Key, s.Batch, hit,
+				s.ArrivalNS, s.TotalNS, s.QueueNS, s.BatchNS, s.ServiceNS, s.PersistNS)
+		}
+		tw.Flush()
+	}
+	fmt.Fprintln(w)
+}
+
+// renderTimeline differences one run's cumulative samples into per-interval
+// rates and prints them as CSV. Derived gauge columns appear only when the
+// run carries the gauges they need (cache runs get a hit-rate column,
+// group-commit runs a batch-fill column, and every socket with write
+// probes a windowed-EWR column).
+func renderTimeline(w io.Writer, title string, rn *telemetry.Run) {
+	if len(rn.Samples) == 0 {
+		return
+	}
+	first := rn.Samples[0]
+	shards := len(first.Shards)
+	gv := func(s telemetry.Sample, name string) (float64, bool) {
+		for _, g := range s.Gauges {
+			if g.Name == name {
+				return g.Value, true
+			}
+		}
+		return 0, false
+	}
+	has := func(name string) bool { _, ok := gv(first, name); return ok }
+	hasCache := has("cache_hits")
+	hasBatch := has("pmem_batches")
+	var ewrSockets []int
+	for s := 0; ; s++ {
+		if !has(fmt.Sprintf("xp_ctrl_write_bytes_s%d", s)) {
+			break
+		}
+		ewrSockets = append(ewrSockets, s)
+	}
+
+	fmt.Fprintf(w, "# %s\n", title)
+	cols := []string{"t_us", "offered_kops", "completed_kops", "shed_frac", "qdepth", "qdepth_mean"}
+	for i := 0; i < shards; i++ {
+		cols = append(cols, fmt.Sprintf("s%d_share", i), fmt.Sprintf("s%d_qdepth", i))
+	}
+	if hasCache {
+		cols = append(cols, "cache_hit_rate")
+	}
+	if hasBatch {
+		cols = append(cols, "batch_fill", "fence_per_op")
+	}
+	for _, s := range ewrSockets {
+		cols = append(cols, fmt.Sprintf("ewr_s%d", s))
+	}
+	fmt.Fprintln(w, strings.Join(cols, ","))
+
+	ratio := func(num, den float64) float64 {
+		if den == 0 {
+			return 0
+		}
+		return num / den
+	}
+	prev := telemetry.Sample{} // the window opens at t=0 with zero counters
+	for _, s := range rn.Samples {
+		dtNS := float64(s.TNS - prev.TNS)
+		if dtNS <= 0 {
+			prev = s
+			continue
+		}
+		dOff := float64(s.Offered - prev.Offered)
+		dDone := float64(s.Completed - prev.Completed)
+		dDrop := float64(s.Dropped - prev.Dropped)
+		row := []string{
+			fmt.Sprintf("%.3f", float64(s.TNS)/1e3),
+			// counts per interval over ns → Mops/s; ×1e3 → kops.
+			fmt.Sprintf("%.4g", dOff/dtNS*1e6),
+			fmt.Sprintf("%.4g", dDone/dtNS*1e6),
+			fmt.Sprintf("%.4g", ratio(dDrop, dOff)),
+		}
+		depth, occ := 0, 0.0
+		for i := range s.Shards {
+			depth += s.Shards[i].QDepth
+			occ += s.Shards[i].QOccNS
+			if i < len(prev.Shards) {
+				occ -= prev.Shards[i].QOccNS
+			}
+		}
+		row = append(row, fmt.Sprintf("%d", depth), fmt.Sprintf("%.4g", occ/dtNS))
+		for i := 0; i < shards; i++ {
+			di := float64(s.Shards[i].Completed)
+			if i < len(prev.Shards) {
+				di -= float64(prev.Shards[i].Completed)
+			}
+			row = append(row,
+				fmt.Sprintf("%.4g", ratio(di, dDone)),
+				fmt.Sprintf("%d", s.Shards[i].QDepth))
+		}
+		dg := func(name string) float64 {
+			cur, _ := gv(s, name)
+			old, _ := gv(prev, name)
+			return cur - old
+		}
+		if hasCache {
+			h, m := dg("cache_hits"), dg("cache_misses")
+			row = append(row, fmt.Sprintf("%.4g", ratio(h, h+m)))
+		}
+		if hasBatch {
+			row = append(row,
+				fmt.Sprintf("%.4g", ratio(dg("pmem_batch_ops"), dg("pmem_batches"))),
+				fmt.Sprintf("%.4g", ratio(dg("pmem_fences"), dDone)))
+		}
+		for _, sk := range ewrSockets {
+			ctrl := dg(fmt.Sprintf("xp_ctrl_write_bytes_s%d", sk))
+			media := dg(fmt.Sprintf("xp_media_write_bytes_s%d", sk))
+			row = append(row, fmt.Sprintf("%.4g", ratio(ctrl, media)))
+		}
+		fmt.Fprintln(w, strings.Join(row, ","))
+		prev = s
+	}
+	fmt.Fprintln(w)
+}

@@ -11,6 +11,7 @@ import (
 	"optanestudy/internal/pmem"
 	"optanestudy/internal/service"
 	"optanestudy/internal/sim"
+	"optanestudy/internal/telemetry"
 )
 
 // Harness scenarios. "cluster/point" measures one load level through the
@@ -285,6 +286,34 @@ func runClusterPoint(spec harness.Spec) (harness.Trial, error) {
 	if err != nil {
 		return harness.Trial{}, err
 	}
+	// Tracing mirrors the single-node point scenario: a recorder keyed off
+	// the spec's Trace flag (never a param, so seeds and results are
+	// untouched), with cluster-wide probes merged across the shard fabric.
+	var rec *telemetry.Recorder
+	var cacheStats func() (int64, int64)
+	if spec.Trace {
+		rec = telemetry.NewRecorder(service.TraceInterval(spec.Duration), 0)
+		if putlog {
+			rec.AddProbe(func(add func(string, float64)) {
+				var c pmem.Counters
+				for i := range cl.Shards {
+					if pl := cl.Shards[i].PutLog; pl != nil {
+						cc := pl.Counters()
+						c.Merge(&cc)
+					}
+				}
+				c.Gauges(add)
+			})
+		}
+		service.AddEWRProbe(rec, p)
+		if cacheBytes > 0 {
+			rec.AddProbe(func(add func(string, float64)) { cl.CacheCounters().Gauges(add) })
+			cacheStats = func() (int64, int64) {
+				c := cl.CacheCounters()
+				return c.Hits, c.Misses
+			}
+		}
+	}
 	res, err := service.Serve(service.Config{
 		Platform: p, Socket: spec.Socket,
 		Shards: cl.Shards, Route: cl.Route,
@@ -295,6 +324,7 @@ func runClusterPoint(spec harness.Spec) (harness.Trial, error) {
 		Duration: spec.Duration, Warmup: spec.Warmup,
 		Poll: sim.Nanos(pollNS), Seed: spec.Seed,
 		BatchSize: batch, BatchLinger: sim.Nanos(lingerNS),
+		Recorder: rec, CacheStats: cacheStats,
 	})
 	if err != nil {
 		return harness.Trial{}, err
@@ -335,14 +365,12 @@ func runClusterPoint(spec harness.Spec) (harness.Trial, error) {
 		t := &res.Tenants[i]
 		m[fmt.Sprintf("t%d_p99_ns", i)] = t.Latency.Percentile(0.99)
 		m[fmt.Sprintf("t%d_drop_frac", i)] = dropFrac(t.Dropped, t.Offered)
-		if res.Dropped > 0 {
-			m[fmt.Sprintf("t%d_shed_ops", i)] = float64(t.Dropped)
-		}
+		harness.GateMetric(m, res.Dropped > 0, fmt.Sprintf("t%d_shed_ops", i), float64(t.Dropped))
 	}
 	// Fence-amortization readout across every shard's append logs, gated
 	// on the batch path being on (batch=1 keeps pre-batching scenario
 	// output byte-stable).
-	if batch > 1 && putlog {
+	harness.GateMetrics(m, batch > 1 && putlog, func(m map[string]float64) {
 		var c pmem.Counters
 		for i := range cl.Shards {
 			if pl := cl.Shards[i].PutLog; pl != nil {
@@ -351,18 +379,24 @@ func runClusterPoint(spec harness.Spec) (harness.Trial, error) {
 			}
 		}
 		c.Metrics(m)
-	}
+	})
 	// Cache-tier readout merged across shards, gated on the tier being on
 	// (cache-less runs stay byte-stable).
-	if cacheBytes > 0 {
+	harness.GateMetrics(m, cacheBytes > 0, func(m map[string]float64) {
 		cl.CacheCounters().Metrics(m)
-	}
-	return harness.Trial{
+	})
+	tr := harness.Trial{
 		Ops:     res.Completed,
 		Sim:     res.Window,
 		Latency: res.Latency,
 		Metrics: m,
-	}, nil
+	}
+	if rec != nil {
+		run := rec.Finish("")
+		run.Metrics(m)
+		tr.Trace = &telemetry.Trace{Runs: []*telemetry.Run{run}}
+	}
+	return tr, nil
 }
 
 func dropFrac(dropped, offered int64) float64 {
@@ -406,6 +440,7 @@ func runClusterSweep(spec harness.Spec) (harness.Trial, error) {
 	}
 
 	tr := harness.Trial{Metrics: make(map[string]float64)}
+	var trace *telemetry.Trace
 	var text strings.Builder
 	for _, policy := range policies {
 		for _, batch := range batchGrid {
@@ -422,6 +457,7 @@ func runClusterSweep(spec harness.Spec) (harness.Trial, error) {
 					Seed:    spec.Seed,
 					MinKops: minKops, MaxKops: maxKops, Points: int(pointsF),
 					Parallel: spec.Parallel,
+					Trace:    spec.Trace,
 				})
 				if err != nil {
 					return harness.Trial{}, err
@@ -436,6 +472,7 @@ func runClusterSweep(spec harness.Spec) (harness.Trial, error) {
 				if len(cacheGrid) > 1 {
 					suffix += fmt.Sprintf("@c%d", cache)
 				}
+				trace = service.MergeCurveTrace(trace, curve, suffix)
 				service.EmitCurve(&tr, curve, suffix)
 				// Fence amortization at the deepest grid point, present on the
 				// group-commit legs only.
@@ -474,6 +511,7 @@ func runClusterSweep(spec harness.Spec) (harness.Trial, error) {
 		}
 	}
 	tr.Text = strings.TrimRight(text.String(), "\n")
+	tr.Trace = trace
 	return tr, nil
 }
 
@@ -504,6 +542,9 @@ type SweepConfig struct {
 	MinKops, MaxKops float64
 	Points           int
 	Parallel         int
+	// Trace asks every point trial to record spans and a timeline
+	// (non-identity, like Parallel; see service.SweepConfig.Trace).
+	Trace bool
 }
 
 // RunSweep measures one policy's throughput-latency curve.
@@ -515,5 +556,6 @@ func RunSweep(sc SweepConfig) (service.Curve, error) {
 		Seed:    sc.Seed,
 		MinKops: sc.MinKops, MaxKops: sc.MaxKops, Points: sc.Points,
 		Parallel: sc.Parallel,
+		Trace:    sc.Trace,
 	})
 }

@@ -6,6 +6,7 @@ import (
 
 	"optanestudy/internal/sim"
 	"optanestudy/internal/stats"
+	"optanestudy/internal/telemetry"
 )
 
 // Trial is the raw outcome of one scenario execution. Scenarios fill the
@@ -33,6 +34,11 @@ type Trial struct {
 	// Text is an optional human-readable artifact (e.g. a figure's TSV
 	// table); the table reporter prints it, machine formats ignore it.
 	Text string
+	// Trace is the trial's phase-span and timeline recording, present
+	// only when the spec asked for tracing (Spec.Trace) and the scenario
+	// supports it. The standard reporters ignore it; the CLI's -trace
+	// sink renders it as an optanestudy-trace/v1 JSONL stream.
+	Trace *telemetry.Trace
 }
 
 // Agg summarizes one quantity across trials.

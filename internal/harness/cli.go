@@ -5,10 +5,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"optanestudy/internal/sim"
+	"optanestudy/internal/telemetry"
 )
 
 // CLIOptions configures the shared command-line front end the cmd/*
@@ -77,6 +80,9 @@ func CLIMain(argv []string, opts CLIOptions) int {
 	lingerNS := fs.Float64("linger", -1, "group-commit linger bound in ns for serving scenarios (negative = scenario default; shorthand for -p linger=NS)")
 	cacheBytes := fs.Int64("cache", 0, "DRAM hot-tier capacity in bytes for serving scenarios (0 = scenario default; shorthand for -p cache=N)")
 	quotaBytes := fs.Int64("quota", 0, "per-tenant hot-tier byte quota (0 = scenario default; shorthand for -p quota=N)")
+	tracePath := fs.String("trace", "", "write per-op phase spans and timeline samples as an optanestudy-trace/v1 JSONL stream to this file (tracing is off when empty; results are unchanged either way)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	params := paramFlag{}
 	fs.Var(params, "p", "scenario param as key=value (repeatable)")
 
@@ -85,6 +91,39 @@ func CLIMain(argv []string, opts CLIOptions) int {
 			return 0
 		}
 		return 2
+	}
+	// The pprof flags profile the host-side runner (scenario execution,
+	// the scheduler, reporting). The simulation itself is wall-clock-free,
+	// so profiling never changes results.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", opts.Command, err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", opts.Command, err)
+			f.Close()
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(stderr, "%s: %v\n", opts.Command, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so live objects dominate
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "%s: %v\n", opts.Command, err)
+			}
+		}()
 	}
 	// The batch flags are param shorthands: they fold into the param map
 	// (and so into derived trial seeds) exactly as their -p spellings would.
@@ -152,6 +191,7 @@ func CLIMain(argv []string, opts CLIOptions) int {
 			Trials:     *trials,
 			WarmupRuns: *warmupRuns,
 			Seed:       *seed,
+			Trace:      *tracePath != "",
 		}
 		if len(params) > 0 {
 			spec.Params = make(map[string]string, len(params))
@@ -174,6 +214,33 @@ func CLIMain(argv []string, opts CLIOptions) int {
 
 	if len(results) > 0 {
 		if err := rep.Report(stdout, results); err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", opts.Command, err)
+			return 1
+		}
+	}
+	// The trace sink: one JSONL stream over every traced trial, emitted
+	// in result order (input order, regardless of schedule), so the file
+	// is byte-identical at any -parallel width.
+	if *tracePath != "" {
+		var entries []telemetry.TraceEntry
+		for _, r := range results {
+			for ti := range r.Trials {
+				if tr := r.Trials[ti].Trace; tr != nil {
+					entries = append(entries, telemetry.TraceEntry{Scenario: r.Name, Trial: ti, Trace: tr})
+				}
+			}
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", opts.Command, err)
+			return 1
+		}
+		if err := telemetry.WriteJSONL(f, entries); err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", opts.Command, err)
+			f.Close()
+			return 1
+		}
+		if err := f.Close(); err != nil {
 			fmt.Fprintf(stderr, "%s: %v\n", opts.Command, err)
 			return 1
 		}

@@ -1,0 +1,22 @@
+package harness
+
+// GateMetric sets m[key] = v only when gate is true. Conditional metrics
+// keep baseline scenario output byte-stable: a key appears only when its
+// subsystem was actually exercised (e.g. per-tenant shed counts once the
+// run sheds), and the gate must depend only on the spec and the measured
+// result, never on the schedule.
+func GateMetric(m map[string]float64, gate bool, key string, v float64) {
+	if gate {
+		m[key] = v
+	}
+}
+
+// GateMetrics invokes fill(m) only when gate is true — the multi-key
+// companion of GateMetric for counter blocks (pmem_*, cache_*) whose
+// producers may be nil when the gate is false, which is why fill is a
+// closure rather than a pre-built map.
+func GateMetrics(m map[string]float64, gate bool, fill func(m map[string]float64)) {
+	if gate {
+		fill(m)
+	}
+}

@@ -1,0 +1,30 @@
+package harness
+
+import "testing"
+
+func TestGateMetric(t *testing.T) {
+	m := map[string]float64{}
+	GateMetric(m, false, "off", 1)
+	GateMetric(m, true, "on", 2)
+	if _, ok := m["off"]; ok {
+		t.Error("closed gate still set its key")
+	}
+	if m["on"] != 2 {
+		t.Errorf("open gate: m[on] = %g, want 2", m["on"])
+	}
+}
+
+func TestGateMetrics(t *testing.T) {
+	m := map[string]float64{}
+	// The closed gate must not even invoke fill — producers may be nil.
+	GateMetrics(m, false, func(m map[string]float64) {
+		t.Error("fill called with the gate closed")
+	})
+	GateMetrics(m, true, func(m map[string]float64) {
+		m["a"] = 1
+		m["b"] = 2
+	})
+	if len(m) != 2 || m["a"] != 1 || m["b"] != 2 {
+		t.Errorf("open gate: m = %v, want a=1 b=2", m)
+	}
+}

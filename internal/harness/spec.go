@@ -50,6 +50,13 @@ type Spec struct {
 	// sweep stays serial end to end. It never participates in seed
 	// derivation or reported config, and results do not depend on it.
 	Parallel int
+	// Trace asks scenarios that support tracing to record per-op phase
+	// spans and a timeline into Trial.Trace. Like Parallel it is a
+	// non-identity passthrough: deriveSeed never hashes it, so a traced
+	// trial's seed — and therefore its measured results — are identical
+	// to the untraced trial's. Scenarios that nest (sweeps) propagate it
+	// to their point specs and merge the points' traces.
+	Trace bool
 }
 
 // withDefaults fills zero fields from the scenario's defaults and merges

@@ -127,6 +127,16 @@ func (c Counters) Metrics(m map[string]float64) {
 	m["cache_hit_rate"] = c.HitRate()
 }
 
+// Gauges streams the cumulative counters into add — the timeline
+// sampler's snapshot shape. The name set is fixed so timeline columns are
+// stable across samples; a renderer differences successive snapshots into
+// a windowed hit rate.
+func (c Counters) Gauges(add func(name string, v float64)) {
+	add("cache_hits", float64(c.Hits))
+	add("cache_misses", float64(c.Misses))
+	add("cache_evictions", float64(c.Evictions))
+}
+
 // slot is one DRAM record frame's volatile bookkeeping.
 type slot struct {
 	id     int64 // cached key id, -1 when empty

@@ -189,3 +189,18 @@ func (c *Counters) Metrics(m map[string]float64) {
 		m["pmem_fence_per_op"] = float64(c.Batches) / float64(c.BatchOps)
 	}
 }
+
+// Gauges streams the cumulative counter totals into add — the timeline
+// sampler's snapshot shape. Unlike Metrics (which gates keys on activity
+// for byte-stable end-of-run metric maps), Gauges emits a FIXED set of
+// names on every call so timeline columns are stable across samples:
+// successive snapshots difference into per-interval fence and payload
+// rates.
+func (c *Counters) Gauges(add func(name string, v float64)) {
+	ops, bytes := c.Total()
+	add("pmem_ops", float64(ops))
+	add("pmem_bytes", float64(bytes))
+	add("pmem_fences", float64(c.Fences))
+	add("pmem_batches", float64(c.Batches))
+	add("pmem_batch_ops", float64(c.BatchOps))
+}

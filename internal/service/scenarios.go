@@ -9,6 +9,7 @@ import (
 	"optanestudy/internal/hottier"
 	"optanestudy/internal/platform"
 	"optanestudy/internal/sim"
+	"optanestudy/internal/telemetry"
 )
 
 // Harness scenarios. Single load points register as "service/kv/pmemkv"
@@ -365,6 +366,38 @@ func runPoint(spec harness.Spec) (harness.Trial, error) {
 			return harness.Trial{}, fmt.Errorf("service: unknown key mix %q (want zipf, uniform, split or hotspot)", mix)
 		}
 	}
+	mb, isMemMode := be.(*memModeBackend)
+	var rec *telemetry.Recorder
+	var cacheStats func() (int64, int64)
+	if spec.Trace {
+		rec = telemetry.NewRecorder(TraceInterval(spec.Duration), 0)
+		if plog != nil {
+			rec.AddProbe(func(add func(string, float64)) {
+				c := plog.Counters()
+				c.Gauges(add)
+			})
+		}
+		AddEWRProbe(rec, p)
+		switch {
+		case hotTier != nil:
+			rec.AddProbe(func(add func(string, float64)) { hotTier.Counters().Gauges(add) })
+			cacheStats = func() (int64, int64) {
+				c := hotTier.Counters()
+				return c.Hits, c.Misses
+			}
+		case isMemMode:
+			rec.AddProbe(func(add func(string, float64)) {
+				hits, misses, writebacks := mb.Stats().Stats()
+				add("cache_hits", float64(hits))
+				add("cache_misses", float64(misses))
+				add("memmode_writebacks", float64(writebacks))
+			})
+			cacheStats = func() (int64, int64) {
+				hits, misses, _ := mb.Stats().Stats()
+				return hits, misses
+			}
+		}
+	}
 	res, err := Serve(Config{
 		Platform: p, Backend: be,
 		Socket: spec.Socket, Workers: spec.Threads, QueueCap: qcap,
@@ -376,6 +409,7 @@ func runPoint(spec harness.Spec) (harness.Trial, error) {
 		Duration: spec.Duration, Warmup: spec.Warmup,
 		Poll: sim.Nanos(pollNS), Seed: spec.Seed,
 		BatchSize: batch, BatchLinger: sim.Nanos(lingerNS),
+		Recorder:  rec, CacheStats: cacheStats,
 	})
 	if err != nil {
 		return harness.Trial{}, err
@@ -401,23 +435,22 @@ func runPoint(spec harness.Spec) (harness.Trial, error) {
 		// keeping the light-load baseline scenarios' output byte-stable
 		// while skewed overload runs show who gets dropped. The gate
 		// depends only on the result, never on the schedule.
-		if res.Dropped > 0 {
-			m[fmt.Sprintf("t%d_shed_ops", i)] = float64(t.Dropped)
-		}
+		harness.GateMetric(m, res.Dropped > 0, fmt.Sprintf("t%d_shed_ops", i), float64(t.Dropped))
 	}
 	// Fence-amortization readout, gated on the batch path actually being
 	// on so the batch=1 default keeps every pre-existing scenario's output
 	// byte-stable (group-commit counters would otherwise add keys).
-	if batch > 1 && plog != nil {
+	harness.GateMetrics(m, batch > 1 && plog != nil, func(m map[string]float64) {
 		c := plog.Counters()
 		c.Metrics(m)
-	}
+	})
 	// Cache-tier readout, gated the same way: only runs with an explicit
 	// DRAM tier (software hot tier or Memory-Mode near cache) emit the
 	// cache_* keys, so every pre-existing scenario stays byte-stable.
-	if hotTier != nil {
+	harness.GateMetrics(m, hotTier != nil, func(m map[string]float64) {
 		hotTier.Counters().Metrics(m)
-	} else if mb, ok := be.(*memModeBackend); ok {
+	})
+	harness.GateMetrics(m, hotTier == nil && isMemMode, func(m map[string]float64) {
 		hits, misses, writebacks := mb.Stats().Stats()
 		m["cache_hits"] = float64(hits)
 		m["cache_misses"] = float64(misses)
@@ -428,13 +461,19 @@ func runPoint(spec harness.Spec) (harness.Trial, error) {
 			m["cache_hit_rate"] = 0
 		}
 		m["memmode_writebacks"] = float64(writebacks)
-	}
-	return harness.Trial{
+	})
+	tr := harness.Trial{
 		Ops:     res.Completed,
 		Sim:     res.Window,
 		Latency: res.Latency,
 		Metrics: m,
-	}, nil
+	}
+	if rec != nil {
+		run := rec.Finish("")
+		run.Metrics(m)
+		tr.Trace = &telemetry.Trace{Runs: []*telemetry.Run{run}}
+	}
+	return tr, nil
 }
 
 func dropFrac(dropped, offered int64) float64 {
@@ -489,6 +528,7 @@ func runSweepScenario(spec harness.Spec) (harness.Trial, error) {
 	}
 
 	tr := harness.Trial{Metrics: make(map[string]float64)}
+	var trace *telemetry.Trace
 	var text strings.Builder
 	for _, threads := range threadGrid {
 		for _, batch := range batchGrid {
@@ -500,6 +540,7 @@ func runSweepScenario(spec harness.Spec) (harness.Trial, error) {
 					Seed:    spec.Seed,
 					MinKops: minKops, MaxKops: maxKops, Points: int(pointsF),
 					Parallel: spec.Parallel,
+					Trace:    spec.Trace,
 				})
 				if err != nil {
 					return harness.Trial{}, err
@@ -514,6 +555,7 @@ func runSweepScenario(spec harness.Spec) (harness.Trial, error) {
 				if len(cacheGrid) > 1 {
 					suffix += fmt.Sprintf("@c%d", cache)
 				}
+				trace = MergeCurveTrace(trace, curve, suffix)
 				EmitCurve(&tr, curve, suffix)
 				// Cached legs add their curve-level cache readout (hit rate at
 				// the deepest load, where the tier is warmest, plus the knee's
@@ -536,7 +578,29 @@ func runSweepScenario(spec harness.Spec) (harness.Trial, error) {
 		}
 	}
 	tr.Text = strings.TrimRight(text.String(), "\n")
+	tr.Trace = trace
 	return tr, nil
+}
+
+// MergeCurveTrace folds a traced curve's per-point recordings into one
+// trial-level trace, relabelling each run with its grid coordinate (and
+// the sweep leg's metric suffix) so a renderer can tell the points apart.
+// Returns trace unchanged on untraced sweeps. Shared with the cluster
+// sweep scenario.
+func MergeCurveTrace(trace *telemetry.Trace, curve Curve, suffix string) *telemetry.Trace {
+	for _, pt := range curve {
+		if pt.Trace == nil {
+			continue
+		}
+		if trace == nil {
+			trace = &telemetry.Trace{}
+		}
+		for _, rn := range pt.Trace.Runs {
+			rn.Label = fmt.Sprintf("offered=%g%s", pt.OfferedKops, suffix)
+			trace.Runs = append(trace.Runs, rn)
+		}
+	}
+	return trace
 }
 
 // BatchGridParams consumes the group-commit sweep params: "batchgrid" (a

@@ -22,6 +22,7 @@ import (
 	"optanestudy/internal/platform"
 	"optanestudy/internal/sim"
 	"optanestudy/internal/stats"
+	"optanestudy/internal/telemetry"
 	"optanestudy/internal/workload"
 )
 
@@ -141,6 +142,16 @@ type Config struct {
 	// short batches immediately.
 	BatchLinger sim.Time
 	Seed        uint64
+	// Recorder, when non-nil, traces every measured request's phase span
+	// (queue-wait → batch-wait → service → persist) and, when its
+	// sampling interval is set, spawns a read-only timeline sampler proc.
+	// nil (the default) keeps the dispatch hot path branch-cheap and
+	// allocation-free — span structs are only built behind the nil check.
+	Recorder *telemetry.Recorder
+	// CacheStats, when set alongside Recorder, snapshots the DRAM tier's
+	// cumulative read hits/misses so spans attribute each GET as a tier
+	// hit or miss (the counters are differenced around the GET).
+	CacheStats func() (hits, misses int64)
 }
 
 // TenantStats is one tenant's outcome over the measured window.
@@ -208,6 +219,7 @@ type request struct {
 	op       Op
 	key      int64 // global key id
 	arrival  sim.Time
+	drained  sim.Time // stamped by pop/popN: when a worker took the request
 	measured bool
 }
 
@@ -239,6 +251,7 @@ func (g *keyGen) next() int64 {
 type shardState struct {
 	queue     []request
 	head      int
+	idx       int // shard index, for span attribution
 	occ       *sim.BoundedQueue
 	busy      sim.Time
 	offered   int64
@@ -252,6 +265,10 @@ type serveState struct {
 	shards  []shardState
 	closed  bool
 	tenants []TenantStats
+	// rec is the trace recorder (nil = tracing off, the hot-path default);
+	// cacheStats is the GET hit/miss attribution snapshot.
+	rec        *telemetry.Recorder
+	cacheStats func() (hits, misses int64)
 }
 
 // full reports whether the admission queue is at capacity (the shed
@@ -277,6 +294,7 @@ func (s *shardState) pop(now sim.Time) (request, bool) {
 		return request{}, false
 	}
 	r := s.queue[s.head]
+	r.drained = now
 	s.head++
 	s.trim()
 	return r, true
@@ -289,7 +307,9 @@ func (s *shardState) pop(now sim.Time) (request, bool) {
 func (s *shardState) popN(now sim.Time, n int, dst []request) []request {
 	k := s.occ.PopN(now, n)
 	for i := 0; i < k; i++ {
-		dst = append(dst, s.queue[s.head])
+		r := s.queue[s.head]
+		r.drained = now
+		dst = append(dst, r)
 		s.head++
 	}
 	s.trim()
@@ -373,10 +393,13 @@ func Serve(cfg Config) (*Result, error) {
 
 	p := cfg.Platform
 	st := &serveState{
-		shards:  make([]shardState, len(shards)),
-		tenants: make([]TenantStats, len(cfg.Tenants)),
+		shards:     make([]shardState, len(shards)),
+		tenants:    make([]TenantStats, len(cfg.Tenants)),
+		rec:        cfg.Recorder,
+		cacheStats: cfg.CacheStats,
 	}
 	for i := range st.shards {
+		st.shards[i].idx = i
 		st.shards[i].latency = stats.NewHistogram()
 		st.shards[i].occ = sim.NewBoundedQueue(caps[i])
 	}
@@ -462,6 +485,7 @@ func Serve(cfg Config) (*Result, error) {
 					if measured {
 						st.tenants[ti].Dropped++
 						sh.dropped++
+						st.rec.RecordShed(ti, si)
 					}
 					continue
 				}
@@ -476,6 +500,7 @@ func Serve(cfg Config) (*Result, error) {
 				if measured {
 					st.tenants[ti].Dropped++
 					sh.dropped++
+					st.rec.RecordShed(ti, 0)
 				}
 				continue
 			}
@@ -554,6 +579,10 @@ func Serve(cfg Config) (*Result, error) {
 						continue
 					}
 					t0 := proc.Now()
+					var hits0 int64
+					if st.rec != nil && st.cacheStats != nil && req.op == OpGet {
+						hits0, _ = st.cacheStats()
+					}
 					if err := execute(ctx, cfg, shard, w, req, sc); err != nil {
 						runErr = err
 						return
@@ -561,10 +590,29 @@ func Serve(cfg Config) (*Result, error) {
 					t1 := proc.Now()
 					sh.busy += t1 - t0
 					st.record(sh, req, t1)
+					if st.rec != nil && req.measured {
+						st.recordSpan(shard, sh.idx, w, req, t1, hits0)
+					}
 				}
 			})
 		}
 	}
+	// Timeline sampler: a read-only proc waking at the recorder's fixed
+	// sim-time interval over the measured window, snapshotting cumulative
+	// counters. It mutates nothing the serving procs observe, so traced
+	// results equal untraced ones; and everything it reads derives from
+	// sim time, so traced output is byte-identical at any -parallel width.
+	if st.rec != nil && st.rec.Interval() > 0 {
+		iv := st.rec.Interval()
+		p.Go("trace-sampler", cfg.Socket, func(ctx *platform.MemCtx) {
+			proc := ctx.Proc()
+			for t := warmEnd + iv; t <= deadline; t += iv {
+				proc.AdvanceTo(t)
+				st.sample(t-warmEnd, t)
+			}
+		})
+	}
+
 	p.Run()
 	if runErr != nil {
 		return nil, runErr
@@ -603,13 +651,26 @@ func Serve(cfg Config) (*Result, error) {
 // opScratch is one worker's reusable key/value rendering buffers: the
 // dispatch hot path renders into these instead of allocating per op
 // (backends copy on insert, so reuse across requests is safe). Pinned at
-// zero allocations per op by TestDispatchZeroAlloc.
+// zero allocations per op by TestDispatchZeroAlloc. edges is the traced
+// batch path's per-op execution-interval buffer (nil when tracing is
+// off), sized to the batch so the steady state never reallocates.
 type opScratch struct {
 	key, val []byte
+	edges    []opEdge
+}
+
+// opEdge is one batched op's execution interval, buffered so logged PUTs'
+// spans can be closed at the group's commit fence (traced runs only).
+type opEdge struct {
+	start, end sim.Time
 }
 
 func newOpScratch(cfg Config) *opScratch {
-	return &opScratch{key: make([]byte, cfg.KeySize), val: make([]byte, cfg.ValSize)}
+	sc := &opScratch{key: make([]byte, cfg.KeySize), val: make([]byte, cfg.ValSize)}
+	if cfg.Recorder != nil && cfg.BatchSize > 1 {
+		sc.edges = make([]opEdge, 0, cfg.BatchSize)
+	}
+	return sc
 }
 
 // record books one completed request at time end.
@@ -622,6 +683,61 @@ func (st *serveState) record(sh *shardState, req request, end sim.Time) {
 	st.tenants[req.tenant].Completed++
 	sh.completed++
 	sh.latency.Add(lat)
+}
+
+// recordSpan books one unbatched request's phase span: queue-wait is
+// admission to worker drain, and the execution interval is service —
+// except for a write-behind logged PUT, whose Append is one fused
+// render-persist-fence sequence, attributed wholly to persist. Callers
+// guard with st.rec != nil && req.measured, so the untraced hot path
+// never builds a span.
+func (st *serveState) recordSpan(shard *Shard, si, worker int, req request, end sim.Time, hits0 int64) {
+	span := telemetry.OpSpan{
+		Op: req.op.String(), Tenant: req.tenant, Shard: si, Worker: worker,
+		Key: req.key, CacheHit: -1,
+		Arrival: req.arrival, End: end,
+		QueueWait: req.drained - req.arrival,
+	}
+	if req.op == OpPut && shard.PutLog != nil {
+		span.Persist, span.HasPersist = end-req.drained, true
+	} else {
+		span.Service, span.HasService = end-req.drained, true
+	}
+	st.attributeCache(&span, req, hits0)
+	st.rec.RecordOp(&span)
+}
+
+// attributeCache resolves a traced GET's DRAM-tier outcome from the
+// cumulative hit counter snapshotted before the op executed.
+func (st *serveState) attributeCache(span *telemetry.OpSpan, req request, hits0 int64) {
+	if st.cacheStats == nil || req.op != OpGet {
+		return
+	}
+	if h1, _ := st.cacheStats(); h1 > hits0 {
+		span.CacheHit = 1
+	} else {
+		span.CacheHit = 0
+	}
+}
+
+// sample snapshots one timeline instant at sim time now; rel is now
+// relative to the measured window's start.
+func (st *serveState) sample(rel, now sim.Time) {
+	s := telemetry.Sample{TNS: int64(rel / sim.Nanosecond)}
+	for i := range st.tenants {
+		s.Offered += st.tenants[i].Offered
+		s.Dropped += st.tenants[i].Dropped
+		s.Completed += st.tenants[i].Completed
+	}
+	s.Shards = make([]telemetry.ShardSample, len(st.shards))
+	for i := range st.shards {
+		sh := &st.shards[i]
+		s.Shards[i] = telemetry.ShardSample{
+			Offered: sh.offered, Dropped: sh.dropped, Completed: sh.completed,
+			QDepth: sh.occ.Len(), QOccNS: sh.occ.OccupancyTimeAt(now).Nanoseconds(),
+		}
+	}
+	st.rec.Sample(s)
 }
 
 // execute runs one request against its shard's backend. A SCAN goes
@@ -661,6 +777,12 @@ func execute(ctx *platform.MemCtx, cfg Config, shard *Shard, worker int, req req
 // are not answerable) until the batch's single fence retires.
 func executeBatch(ctx *platform.MemCtx, cfg Config, shard *Shard, worker int, batch []request, sc *opScratch, sh *shardState, st *serveState) error {
 	proc := ctx.Proc()
+	rec := st.rec
+	var bid int64
+	if rec != nil {
+		bid = rec.NextBatch()
+		sc.edges = sc.edges[:0]
+	}
 	logging := false
 	for i := range batch {
 		req := &batch[i]
@@ -671,24 +793,71 @@ func executeBatch(ctx *platform.MemCtx, cfg Config, shard *Shard, worker int, ba
 			}
 			KeyInto(sc.key, req.key)
 			ValInto(sc.val, req.key+1)
+			var es sim.Time
+			if rec != nil {
+				es = proc.Now()
+			}
 			if err := shard.PutLog.Add(ctx, worker, sc.key, sc.val); err != nil {
 				return err
 			}
+			if rec != nil {
+				// Buffer the staging interval: the span closes at the
+				// group's single commit fence below.
+				sc.edges = append(sc.edges, opEdge{start: es, end: proc.Now()})
+			}
 			continue // completes at the commit fence below
+		}
+		var es sim.Time
+		var hits0 int64
+		if rec != nil {
+			es = proc.Now()
+			if st.cacheStats != nil && req.op == OpGet {
+				hits0, _ = st.cacheStats()
+			}
 		}
 		if err := execute(ctx, cfg, shard, worker, *req, sc); err != nil {
 			return err
 		}
-		st.record(sh, *req, proc.Now())
+		end := proc.Now()
+		st.record(sh, *req, end)
+		if rec != nil && req.measured {
+			span := telemetry.OpSpan{
+				Op: req.op.String(), Tenant: req.tenant, Shard: sh.idx, Worker: worker,
+				Key: req.key, Batch: bid, CacheHit: -1,
+				Arrival: req.arrival, End: end,
+				QueueWait: req.drained - req.arrival,
+				BatchWait: es - req.drained, HasBatchWait: true,
+				Service: end - es, HasService: true,
+			}
+			st.attributeCache(&span, *req, hits0)
+			rec.RecordOp(&span)
+		}
 	}
 	if logging {
 		if err := shard.PutLog.Commit(ctx, worker); err != nil {
 			return err
 		}
 		end := proc.Now()
+		ei := 0
 		for i := range batch {
 			if batch[i].op == OpPut {
 				st.record(sh, batch[i], end)
+				if rec != nil {
+					e := sc.edges[ei]
+					ei++
+					if req := &batch[i]; req.measured {
+						span := telemetry.OpSpan{
+							Op: req.op.String(), Tenant: req.tenant, Shard: sh.idx, Worker: worker,
+							Key: req.key, Batch: bid, CacheHit: -1,
+							Arrival: req.arrival, End: end,
+							QueueWait: req.drained - req.arrival,
+							BatchWait: e.start - req.drained, HasBatchWait: true,
+							Service: e.end - e.start, HasService: true,
+							Persist: end - e.end, HasPersist: true,
+						}
+						rec.RecordOp(&span)
+					}
+				}
 			}
 		}
 	}

@@ -7,6 +7,7 @@ import (
 
 	"optanestudy/internal/harness"
 	"optanestudy/internal/sim"
+	"optanestudy/internal/telemetry"
 )
 
 // SweepConfig bounds one load sweep: the point scenario to drive, the
@@ -39,6 +40,10 @@ type SweepConfig struct {
 	// Parallel is the worker-pool width the sweep's trials fan out over
 	// (0 = GOMAXPROCS).
 	Parallel int
+	// Trace asks every point trial to record phase spans and a timeline;
+	// each Point then carries its trial's Trace. Non-identity, like
+	// Parallel: point seeds and results are unchanged.
+	Trace bool
 }
 
 // Point is one load level's outcome.
@@ -59,6 +64,9 @@ type Point struct {
 	// counts, per-shard breakdowns, ...) for callers that aggregate more
 	// than the curve fields.
 	Metrics map[string]float64
+	// Trace is the point trial's recording, present only on traced sweeps
+	// (SweepConfig.Trace).
+	Trace *telemetry.Trace
 }
 
 // Curve is a throughput-latency curve, in ascending offered-load order.
@@ -104,6 +112,7 @@ func RunSweep(sc SweepConfig) (Curve, error) {
 			Duration: sc.Duration,
 			Warmup:   sc.Warmup,
 			Seed:     sc.Seed,
+			Trace:    sc.Trace,
 		}
 	}
 	curve := make(Curve, len(grid))
@@ -123,6 +132,7 @@ func RunSweep(sc SweepConfig) (Curve, error) {
 			P999:         m["p999_ns"],
 			Util:         m["util"],
 			Metrics:      m,
+			Trace:        sr.Result.Trials[0].Trace,
 		}
 	}
 	return curve, nil

@@ -1,0 +1,44 @@
+package service
+
+import (
+	"fmt"
+
+	"optanestudy/internal/platform"
+	"optanestudy/internal/sim"
+	"optanestudy/internal/telemetry"
+)
+
+// TraceInterval derives the timeline sampling interval from a measured
+// window: ~40 samples per run, floored at 1 µs so shortened smoke windows
+// sample sparsely instead of per-op. Deriving it from the spec's Duration
+// (never from a param) keeps tracing entirely outside seed derivation —
+// a traced trial reproduces the untraced trial's results exactly.
+func TraceInterval(duration sim.Time) sim.Time {
+	iv := duration / 40
+	if iv < sim.Microsecond {
+		iv = sim.Microsecond
+	}
+	return iv
+}
+
+// AddEWRProbe registers per-socket 3D XPoint write-traffic gauges: the
+// controller-side write bytes (payload reaching the DIMMs) and the
+// media-side write bytes (what the media actually wrote, including
+// read-modify-write amplification of sub-XPLine stores). A renderer
+// differences successive samples into a windowed EWR proxy — Δctrl/Δmedia
+// over the interval — the paper's effective-write-ratio signal as a time
+// series instead of a single end-of-run scalar. Every socket is probed
+// unconditionally so timeline columns stay stable across samples.
+func AddEWRProbe(rec *telemetry.Recorder, p *platform.Platform) {
+	sockets := p.Config().Geometry.Sockets
+	for s := 0; s < sockets; s++ {
+		s := s
+		ctrlName := fmt.Sprintf("xp_ctrl_write_bytes_s%d", s)
+		mediaName := fmt.Sprintf("xp_media_write_bytes_s%d", s)
+		rec.AddProbe(func(add func(string, float64)) {
+			c := p.XPCounters(s)
+			add(ctrlName, float64(c.CtrlWriteBytes))
+			add(mediaName, float64(c.MediaWriteBytes))
+		})
+	}
+}

@@ -210,6 +210,21 @@ func (q *BoundedQueue) MaxLen() int { return q.maxLen }
 // Server.BusyTime for servers.
 func (q *BoundedQueue) OccupancyTime() Time { return q.occ }
 
+// OccupancyTimeAt returns the occupancy integral as of time now: the
+// residency already closed by PopN plus each still-open pull-mode entry's
+// accrued (now − admit). Read-only — nothing is retired — so a timeline
+// sampler can difference successive calls into mean queue depth per
+// interval without perturbing the queue.
+func (q *BoundedQueue) OccupancyTimeAt(now Time) Time {
+	t := q.occ
+	for i := q.openHead; i < len(q.opens); i++ {
+		if q.opens[i] < now {
+			t += now - q.opens[i]
+		}
+	}
+	return t
+}
+
 // Reset clears the queue (mode included).
 func (q *BoundedQueue) Reset() {
 	q.drains = q.drains[:0]

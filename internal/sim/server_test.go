@@ -359,3 +359,34 @@ func TestRNGBoolEdges(t *testing.T) {
 		t.Errorf("Bool(0.25) hit rate %d/%d", hits, n)
 	}
 }
+
+// OccupancyTimeAt reads the occupancy integral mid-flight without retiring
+// anything: closed residency plus each still-open entry's accrual so far.
+func TestBoundedQueueOccupancyTimeAt(t *testing.T) {
+	q := NewBoundedQueue(4)
+	if got := q.OccupancyTimeAt(100 * Nanosecond); got != 0 {
+		t.Fatalf("fresh OccupancyTimeAt = %v, want 0", got)
+	}
+	q.PushOpen(0)
+	q.PushOpen(10 * Nanosecond)
+	// At t=30: 30ns from the first entry, 20ns from the second.
+	if got := q.OccupancyTimeAt(30 * Nanosecond); got != 50*Nanosecond {
+		t.Fatalf("open OccupancyTimeAt(30) = %v, want 50ns", got)
+	}
+	// Reading must not retire: the closed integral is still zero.
+	if got := q.OccupancyTime(); got != 0 {
+		t.Fatalf("OccupancyTime after read = %v, want 0", got)
+	}
+	if q.PopN(30*Nanosecond, 1) != 1 {
+		t.Fatal("PopN failed")
+	}
+	// Closed 30ns + the remaining entry's (40−10)ns.
+	if got := q.OccupancyTimeAt(40 * Nanosecond); got != 60*Nanosecond {
+		t.Fatalf("OccupancyTimeAt(40) = %v, want 60ns", got)
+	}
+	// An entry admitted at the sample instant has accrued nothing yet.
+	q.PushOpen(40 * Nanosecond)
+	if got := q.OccupancyTimeAt(40 * Nanosecond); got != 60*Nanosecond {
+		t.Fatalf("OccupancyTimeAt at admit instant = %v, want 60ns", got)
+	}
+}

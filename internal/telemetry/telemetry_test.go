@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"optanestudy/internal/sim"
+)
+
+func span(arrival, queue, batch, svc, persist sim.Time) OpSpan {
+	s := OpSpan{
+		Op: "PUT", Arrival: arrival, CacheHit: -1,
+		QueueWait: queue,
+	}
+	if batch > 0 {
+		s.BatchWait, s.HasBatchWait = batch, true
+	}
+	if svc > 0 {
+		s.Service, s.HasService = svc, true
+	}
+	if persist > 0 {
+		s.Persist, s.HasPersist = persist, true
+	}
+	s.End = arrival + queue + batch + svc + persist
+	return s
+}
+
+func TestRecorderPhases(t *testing.T) {
+	r := NewRecorder(0, 4)
+	// An unbatched GET: queue + service only.
+	s1 := span(0, 100*sim.Nanosecond, 0, 300*sim.Nanosecond, 0)
+	r.RecordOp(&s1)
+	// A batched logged PUT: all four segments.
+	s2 := span(sim.Microsecond, 50*sim.Nanosecond, 200*sim.Nanosecond, 100*sim.Nanosecond, 400*sim.Nanosecond)
+	r.RecordOp(&s2)
+	run := r.Finish("x")
+	if run.Label != "x" || run.Ops != 2 || run.Sheds != 0 {
+		t.Fatalf("run header = %q/%d/%d, want x/2/0", run.Label, run.Ops, run.Sheds)
+	}
+	want := map[string]int64{"queue_wait": 2, "batch_wait": 1, "service": 2, "persist": 1, "total": 2}
+	for name, n := range want {
+		ps := run.Phase(name)
+		if ps == nil || ps.Count != n {
+			t.Errorf("phase %s count = %+v, want %d", name, ps, n)
+		}
+	}
+	if got := run.Phase("total").MaxNS; got != 750 {
+		t.Errorf("total max = %g ns, want 750", got)
+	}
+	if got := run.Phase("persist").MeanNS; got != 400 {
+		t.Errorf("persist mean = %g ns, want 400", got)
+	}
+}
+
+// A shed request never entered a queue: it must count as a shed but
+// contribute to no phase histogram, so queue-wait quantiles reflect only
+// admitted ops.
+func TestShedsEnterNoPhase(t *testing.T) {
+	r := NewRecorder(0, 4)
+	r.RecordShed(1, 2)
+	r.RecordShed(0, 0)
+	run := r.Finish("")
+	if run.Sheds != 2 || run.Ops != 0 {
+		t.Fatalf("sheds/ops = %d/%d, want 2/0", run.Sheds, run.Ops)
+	}
+	for _, ps := range run.Phases {
+		if ps.Count != 0 || ps.P99NS != 0 || ps.MeanNS != 0 {
+			t.Errorf("phase %s polluted by sheds: %+v", ps.Phase, ps)
+		}
+	}
+}
+
+func TestTopKOrderingAndTies(t *testing.T) {
+	r := NewRecorder(0, 3)
+	totals := []sim.Time{500, 100, 900, 500, 700, 50}
+	for i, tot := range totals {
+		s := span(sim.Time(i)*sim.Microsecond, tot*sim.Nanosecond, 0, 0, 0)
+		s.Key = int64(i)
+		r.RecordOp(&s)
+	}
+	run := r.Finish("")
+	if len(run.Slowest) != 3 {
+		t.Fatalf("kept %d slow ops, want 3", len(run.Slowest))
+	}
+	// 900 then 700 then the tie at 500 — the earlier op (key 0) wins the
+	// last slot over the later arrival (key 3).
+	wantKeys := []int64{2, 4, 0}
+	for i, s := range run.Slowest {
+		if s.Rank != i+1 || s.Key != wantKeys[i] {
+			t.Errorf("slow[%d] = rank %d key %d, want rank %d key %d",
+				i, s.Rank, s.Key, i+1, wantKeys[i])
+		}
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	if r.Interval() != 0 || r.NextBatch() != 0 {
+		t.Fatal("nil recorder leaked state")
+	}
+	s := span(0, sim.Nanosecond, 0, 0, 0)
+	r.RecordOp(&s)
+	r.RecordShed(0, 0)
+	r.AddProbe(func(add func(string, float64)) { add("x", 1) })
+	r.Sample(Sample{})
+	if run := r.Finish(""); run != nil {
+		t.Fatalf("nil Finish = %+v, want nil", run)
+	}
+}
+
+// The OFF path is the serving hot path: every per-op recorder call on a
+// nil receiver must stay allocation-free.
+func TestNilRecorderZeroAllocs(t *testing.T) {
+	var r *Recorder
+	s := span(0, sim.Nanosecond, 0, sim.Nanosecond, 0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.RecordOp(&s)
+		r.RecordShed(0, 1)
+		_ = r.NextBatch()
+		_ = r.Interval()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-recorder ops allocate %g allocs/op, want 0", allocs)
+	}
+}
+
+func TestBatchIDs(t *testing.T) {
+	r := NewRecorder(0, 1)
+	if a, b := r.NextBatch(), r.NextBatch(); a != 1 || b != 2 {
+		t.Fatalf("batch ids = %d,%d, want 1,2", a, b)
+	}
+}
+
+func TestSampleGauges(t *testing.T) {
+	r := NewRecorder(sim.Microsecond, 1)
+	r.AddProbe(func(add func(string, float64)) { add("a", 1); add("b", 2) })
+	r.AddProbe(func(add func(string, float64)) { add("c", 3) })
+	r.Sample(Sample{TNS: 1000, Completed: 7})
+	run := r.Finish("")
+	if len(run.Samples) != 1 {
+		t.Fatalf("samples = %d, want 1", len(run.Samples))
+	}
+	want := []Gauge{{"a", 1}, {"b", 2}, {"c", 3}}
+	if !reflect.DeepEqual(run.Samples[0].Gauges, want) {
+		t.Fatalf("gauges = %+v, want %+v (registration order)", run.Samples[0].Gauges, want)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	r := NewRecorder(sim.Microsecond, 2)
+	s1 := span(0, 100*sim.Nanosecond, 0, 300*sim.Nanosecond, 0)
+	s1.Op, s1.Tenant, s1.Shard, s1.CacheHit = "GET", 1, 2, 1
+	r.RecordOp(&s1)
+	r.RecordShed(0, 2)
+	r.Sample(Sample{TNS: 1000, Offered: 3, Completed: 1, Dropped: 1,
+		Shards: []ShardSample{{Offered: 3, Completed: 1, QDepth: 2, QOccNS: 150}}})
+	run := r.Finish("offered=9000")
+
+	in := []TraceEntry{{Scenario: "cluster/hotspot", Trial: 0, Trace: &Trace{Runs: []*Run{run}}}}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), `{"schema":"optanestudy-trace/v1"}`) {
+		t.Fatalf("stream missing schema header: %q", buf.String()[:40])
+	}
+	out, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in[0].Trace.Runs[0], out[0].Trace.Runs[0])
+	}
+	// The stream is append-stable: re-encoding the decoded entries must
+	// reproduce the bytes (the serial-vs-parallel CI cmp relies on this).
+	var buf2 bytes.Buffer
+	if err := WriteJSONL(&buf2, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-encoding decoded entries changed the bytes")
+	}
+}
+
+func TestJSONLRejectsUnknownSchema(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader(`{"schema":"other/v9"}` + "\n")); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+	orphan := `{"schema":"optanestudy-trace/v1"}` + "\n" + `{"type":"phase","label":"x"}` + "\n"
+	if _, err := ReadJSONL(strings.NewReader(orphan)); err == nil {
+		t.Fatal("member line before run line accepted")
+	}
+}

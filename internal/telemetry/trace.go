@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceSchema identifies the JSONL trace stream format.
+const TraceSchema = "optanestudy-trace/v1"
+
+// PhaseSummary is one phase's aggregated distribution over a run.
+type PhaseSummary struct {
+	Phase string `json:"phase"`
+	// Count is how many ops entered the phase: absent phases (e.g.
+	// batch_wait on an unbatched run) report 0 and zero quantiles.
+	Count  int64   `json:"count"`
+	MeanNS float64 `json:"mean_ns"`
+	P50NS  float64 `json:"p50_ns"`
+	P99NS  float64 `json:"p99_ns"`
+	MaxNS  float64 `json:"max_ns"`
+}
+
+// SlowOp is one row of the top-K slowest-ops table, ranked 1 = slowest.
+type SlowOp struct {
+	Rank      int     `json:"rank"`
+	Op        string  `json:"op"`
+	Tenant    int     `json:"tenant"`
+	Shard     int     `json:"shard"`
+	Worker    int     `json:"worker"`
+	Key       int64   `json:"key"`
+	Batch     int64   `json:"batch"`
+	CacheHit  int8    `json:"cache_hit"`
+	ArrivalNS float64 `json:"arrival_ns"`
+	TotalNS   float64 `json:"total_ns"`
+	QueueNS   float64 `json:"queue_ns"`
+	BatchNS   float64 `json:"batch_wait_ns"`
+	ServiceNS float64 `json:"service_ns"`
+	PersistNS float64 `json:"persist_ns"`
+}
+
+// Run is one serving run's finished recording. A point scenario produces
+// one unlabeled Run; a sweep scenario relabels its points' runs by grid
+// coordinate ("offered=9000@b8") and concatenates them.
+type Run struct {
+	Label   string         `json:"label,omitempty"`
+	Ops     int64          `json:"ops"`
+	Sheds   int64          `json:"sheds"`
+	Phases  []PhaseSummary `json:"phases"`
+	Slowest []SlowOp       `json:"slowest,omitempty"`
+	Samples []Sample       `json:"samples,omitempty"`
+}
+
+// Metrics writes the run's phase breakdown into a harness metric map as
+// phase_<name>_{mean,p50,p99}_ns, skipping phases no op entered.
+func (r *Run) Metrics(m map[string]float64) {
+	for _, ps := range r.Phases {
+		if ps.Count == 0 {
+			continue
+		}
+		m["phase_"+ps.Phase+"_mean_ns"] = ps.MeanNS
+		m["phase_"+ps.Phase+"_p50_ns"] = ps.P50NS
+		m["phase_"+ps.Phase+"_p99_ns"] = ps.P99NS
+	}
+}
+
+// Phase returns the named phase summary, or nil.
+func (r *Run) Phase(name string) *PhaseSummary {
+	for i := range r.Phases {
+		if r.Phases[i].Phase == name {
+			return &r.Phases[i]
+		}
+	}
+	return nil
+}
+
+// Trace is one trial's recordings (one run for a point scenario, one per
+// grid coordinate for a sweep).
+type Trace struct {
+	Runs []*Run `json:"runs"`
+}
+
+// TraceEntry attributes one trial's trace for the JSONL stream.
+type TraceEntry struct {
+	Scenario string
+	Trial    int
+	Trace    *Trace
+}
+
+// line is the single JSONL record shape: a header line carries only
+// Schema; every other line carries Type plus that type's fields. One flat
+// struct keeps encode/decode trivially symmetric and the key order fixed.
+type line struct {
+	Schema   string `json:"schema,omitempty"`
+	Type     string `json:"type,omitempty"`
+	Scenario string `json:"scenario,omitempty"`
+	Trial    int    `json:"trial,omitempty"`
+	Label    string `json:"label,omitempty"`
+
+	// type=run
+	Ops     *int64 `json:"ops,omitempty"`
+	Sheds   *int64 `json:"sheds,omitempty"`
+	Samples *int   `json:"samples,omitempty"`
+
+	// type=phase
+	Phase *PhaseSummary `json:"phase,omitempty"`
+
+	// type=slow
+	Slow *SlowOp `json:"slow,omitempty"`
+
+	// type=sample
+	Sample *Sample `json:"sample,omitempty"`
+}
+
+// WriteJSONL renders the entries as one optanestudy-trace/v1 stream: a
+// schema header, then for each run a "run" line followed by its "phase",
+// "slow" and "sample" lines. Everything derives from sim time, so the
+// bytes are identical at any -parallel width as long as entries arrive in
+// a schedule-independent order (the harness emits them in result order).
+func WriteJSONL(w io.Writer, entries []TraceEntry) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(line{Schema: TraceSchema}); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.Trace == nil {
+			continue
+		}
+		for _, run := range e.Trace.Runs {
+			ops, sheds, ns := run.Ops, run.Sheds, len(run.Samples)
+			hdr := line{
+				Type: "run", Scenario: e.Scenario, Trial: e.Trial, Label: run.Label,
+				Ops: &ops, Sheds: &sheds, Samples: &ns,
+			}
+			if err := enc.Encode(hdr); err != nil {
+				return err
+			}
+			for i := range run.Phases {
+				if err := enc.Encode(line{
+					Type: "phase", Scenario: e.Scenario, Trial: e.Trial, Label: run.Label,
+					Phase: &run.Phases[i],
+				}); err != nil {
+					return err
+				}
+			}
+			for i := range run.Slowest {
+				if err := enc.Encode(line{
+					Type: "slow", Scenario: e.Scenario, Trial: e.Trial, Label: run.Label,
+					Slow: &run.Slowest[i],
+				}); err != nil {
+					return err
+				}
+			}
+			for i := range run.Samples {
+				if err := enc.Encode(line{
+					Type: "sample", Scenario: e.Scenario, Trial: e.Trial, Label: run.Label,
+					Sample: &run.Samples[i],
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a stream written by WriteJSONL back into entries, in
+// first-seen order.
+func ReadJSONL(r io.Reader) ([]TraceEntry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var entries []TraceEntry
+	byKey := map[string]int{}
+	var cur *Run
+	curKey := ""
+	first := true
+	for sc.Scan() {
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var l line
+		if err := json.Unmarshal(text, &l); err != nil {
+			return nil, fmt.Errorf("telemetry: bad trace line: %w", err)
+		}
+		if first {
+			if l.Schema != TraceSchema {
+				return nil, fmt.Errorf("telemetry: unknown trace schema %q (want %s)", l.Schema, TraceSchema)
+			}
+			first = false
+			continue
+		}
+		key := fmt.Sprintf("%s\x00%d", l.Scenario, l.Trial)
+		ei, ok := byKey[key]
+		if !ok {
+			ei = len(entries)
+			byKey[key] = ei
+			entries = append(entries, TraceEntry{Scenario: l.Scenario, Trial: l.Trial, Trace: &Trace{}})
+		}
+		tr := entries[ei].Trace
+		runKey := key + "\x00" + l.Label
+		switch l.Type {
+		case "run":
+			cur = &Run{Label: l.Label}
+			if l.Ops != nil {
+				cur.Ops = *l.Ops
+			}
+			if l.Sheds != nil {
+				cur.Sheds = *l.Sheds
+			}
+			curKey = runKey
+			tr.Runs = append(tr.Runs, cur)
+		case "phase", "slow", "sample":
+			if cur == nil || curKey != runKey {
+				return nil, fmt.Errorf("telemetry: %s line for unknown run %q", l.Type, l.Label)
+			}
+			switch l.Type {
+			case "phase":
+				if l.Phase != nil {
+					cur.Phases = append(cur.Phases, *l.Phase)
+				}
+			case "slow":
+				if l.Slow != nil {
+					cur.Slowest = append(cur.Slowest, *l.Slow)
+				}
+			case "sample":
+				if l.Sample != nil {
+					cur.Samples = append(cur.Samples, *l.Sample)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("telemetry: unknown trace line type %q", l.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
