@@ -3,7 +3,8 @@
 // table and top-K slowest-ops table, or, with -timeline, each run's
 // timeline as CSV with the cumulative counters differenced into
 // per-interval rates (throughput, shed fraction, queue depth, per-shard
-// share, windowed EWR, cache hit rate, batch fill).
+// share, windowed EWR, cache hit rate, batch fill), with fault/failover
+// markers folded into an events column on runs that carry them.
 //
 // Usage:
 //
@@ -75,7 +76,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// renderRun prints one run's phase breakdown and slowest-ops tables.
+// renderRun prints one run's phase breakdown, slowest-ops and
+// fault/failover-event tables.
 func renderRun(w io.Writer, title string, rn *telemetry.Run) {
 	fmt.Fprintf(w, "== %s  ops=%d sheds=%d samples=%d\n", title, rn.Ops, rn.Sheds, len(rn.Samples))
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
@@ -104,6 +106,15 @@ func renderRun(w io.Writer, title string, rn *telemetry.Run) {
 			fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d\t%d\t%s\t%.4g\t%.4g\t%.4g\t%.4g\t%.4g\t%.4g\n",
 				s.Rank, s.Op, s.Tenant, s.Shard, s.Worker, s.Key, s.Batch, hit,
 				s.ArrivalNS, s.TotalNS, s.QueueNS, s.BatchNS, s.ServiceNS, s.PersistNS)
+		}
+		tw.Flush()
+	}
+	if len(rn.Events) > 0 {
+		fmt.Fprintln(w, "events:")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "t_us\tevent\tshard")
+		for _, e := range rn.Events {
+			fmt.Fprintf(tw, "%.3f\t%s\t%d\n", float64(e.TNS)/1e3, e.Name, e.Shard)
 		}
 		tw.Flush()
 	}
@@ -154,6 +165,10 @@ func renderTimeline(w io.Writer, title string, rn *telemetry.Run) {
 	for _, s := range ewrSockets {
 		cols = append(cols, fmt.Sprintf("ewr_s%d", s))
 	}
+	hasEvents := len(rn.Events) > 0
+	if hasEvents {
+		cols = append(cols, "events")
+	}
 	fmt.Fprintln(w, strings.Join(cols, ","))
 
 	ratio := func(num, den float64) float64 {
@@ -163,6 +178,7 @@ func renderTimeline(w io.Writer, title string, rn *telemetry.Run) {
 		return num / den
 	}
 	prev := telemetry.Sample{} // the window opens at t=0 with zero counters
+	nextEvent := 0
 	for _, s := range rn.Samples {
 		dtNS := float64(s.TNS - prev.TNS)
 		if dtNS <= 0 {
@@ -215,6 +231,17 @@ func renderTimeline(w io.Writer, title string, rn *telemetry.Run) {
 			ctrl := dg(fmt.Sprintf("xp_ctrl_write_bytes_s%d", sk))
 			media := dg(fmt.Sprintf("xp_media_write_bytes_s%d", sk))
 			row = append(row, fmt.Sprintf("%.4g", ratio(ctrl, media)))
+		}
+		if hasEvents {
+			// Every not-yet-emitted marker up to this sample instant lands
+			// in this interval's cell (warmup markers land in the first).
+			var marks []string
+			for nextEvent < len(rn.Events) && rn.Events[nextEvent].TNS <= s.TNS {
+				e := rn.Events[nextEvent]
+				marks = append(marks, fmt.Sprintf("%s:s%d", e.Name, e.Shard))
+				nextEvent++
+			}
+			row = append(row, strings.Join(marks, ";"))
 		}
 		fmt.Fprintln(w, strings.Join(row, ","))
 		prev = s

@@ -5,6 +5,7 @@ import (
 
 	"optanestudy/internal/hottier"
 	"optanestudy/internal/platform"
+	"optanestudy/internal/replica"
 	"optanestudy/internal/service"
 )
 
@@ -36,6 +37,15 @@ type Config struct {
 	// log size (default 2 MiB).
 	PutLog    bool
 	LogRegion int64
+	// Replicate pairs every shard's primary with a standby replica — a
+	// second preloaded backend plus ship log on the NEXT socket (same
+	// channel set, so the pair occupies a distinct (socket, DIMM-set)
+	// placement) — and wires a replica.Pair into the shard so logged PUTs
+	// ship synchronously and fault events can fail the shard over.
+	// Requires PutLog (replication ships the log), at least two sockets,
+	// and no cache tier (a promoted backend would bypass the tier's
+	// coherence).
+	Replicate bool
 	// CacheBytes > 0 fronts every shard's backend with a DRAM hot tier of
 	// that size, placed on the shard's *worker* socket (data DIMMs may sit
 	// elsewhere under numa-blind placement; hits must not cross UPI).
@@ -61,6 +71,31 @@ type Cluster struct {
 	// Tiers are the per-shard DRAM hot tiers (nil entries when CacheBytes
 	// is 0); callers aggregate their counters after a run.
 	Tiers []*hottier.Tier
+	// Pairs are the per-shard replica pairs (nil when Replicate is off);
+	// callers read their Stats after a run.
+	Pairs []*replica.Pair
+}
+
+// ReplStats merges every shard pair's replication counters.
+func (c *Cluster) ReplStats() replica.Stats {
+	var sum replica.Stats
+	for _, pr := range c.Pairs {
+		if pr == nil {
+			continue
+		}
+		st := pr.Stats()
+		sum.ShipBatches += st.ShipBatches
+		sum.ShipRecs += st.ShipRecs
+		sum.ShipBytes += st.ShipBytes
+		sum.Failovers += st.Failovers
+		sum.ReplayBatches += st.ReplayBatches
+		sum.ReplayRecs += st.ReplayRecs
+		sum.LostRecs += st.LostRecs
+		sum.Leaves += st.Leaves
+		sum.Joins += st.Joins
+		sum.CatchupRecs += st.CatchupRecs
+	}
+	return sum
 }
 
 // CacheCounters merges every shard tier's accounting.
@@ -121,10 +156,25 @@ func New(p *platform.Platform, cfg Config) (*Cluster, error) {
 	if cfg.CacheBytes > 0 && cfg.Spec.ValSize <= 0 {
 		return nil, fmt.Errorf("cluster: a cache tier needs the record size (Spec.ValSize), got %d", cfg.Spec.ValSize)
 	}
+	sockets := p.Config().Geometry.Sockets
+	if cfg.Replicate {
+		if !cfg.PutLog {
+			return nil, fmt.Errorf("cluster: replication ships the write-behind log; set PutLog")
+		}
+		if cfg.CacheBytes > 0 {
+			return nil, fmt.Errorf("cluster: replication does not compose with a cache tier (a promoted backend would bypass it)")
+		}
+		if sockets < 2 {
+			return nil, fmt.Errorf("cluster: replication needs a standby socket (%d socket geometry)", sockets)
+		}
+	}
 	c := &Cluster{
 		Placement: pl, Router: router,
 		Shards: make([]service.Shard, cfg.Shards),
 		Tiers:  make([]*hottier.Tier, cfg.Shards),
+	}
+	if cfg.Replicate {
+		c.Pairs = make([]*replica.Pair, cfg.Shards)
 	}
 	for i, sp := range pl.Shards {
 		bs := cfg.Spec
@@ -162,6 +212,35 @@ func New(p *platform.Platform, cfg Config) (*Cluster, error) {
 		c.Shards[i] = service.Shard{
 			Backend: be, Workers: sp.Workers, QueueCap: cfg.QueueCap,
 			Socket: sp.WorkerSocket, PutLog: plog,
+		}
+		if cfg.Replicate {
+			// The standby lives one socket over, on the same channel set:
+			// a distinct (socket, DIMM-set) placement, so a socket loss or
+			// DIMM failure never takes both replicas, and shipping pays
+			// the real UPI crossing.
+			rsock := (sp.DataSocket + 1) % sockets
+			rs := cfg.Spec
+			rs.Socket = rsock
+			rs.Channels = sp.Channels
+			rs.NamePrefix = fmt.Sprintf("shard%dr", i)
+			rbe, err := service.NewBackend(p, cfg.Backend, rs)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: shard %d standby: %w", i, err)
+			}
+			ss := rs
+			ss.NamePrefix = fmt.Sprintf("shard%dship", i)
+			ship, err := service.NewAppendLog(p, ss, sp.Workers, logRegion)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: shard %d ship log: %w", i, err)
+			}
+			pair, err := replica.NewPair(i, sp.Workers,
+				replica.Node{Backend: be, Log: plog, Socket: sp.DataSocket},
+				replica.Node{Backend: rbe, Log: ship, Socket: rsock})
+			if err != nil {
+				return nil, fmt.Errorf("cluster: shard %d pair: %w", i, err)
+			}
+			c.Pairs[i] = pair
+			c.Shards[i].Repl = pair
 		}
 	}
 	return c, nil

@@ -6,11 +6,13 @@ import (
 	"strconv"
 	"strings"
 
+	"optanestudy/internal/fault"
 	"optanestudy/internal/harness"
 	"optanestudy/internal/platform"
 	"optanestudy/internal/pmem"
 	"optanestudy/internal/service"
 	"optanestudy/internal/sim"
+	"optanestudy/internal/stats"
 	"optanestudy/internal/telemetry"
 )
 
@@ -139,6 +141,59 @@ func init() {
 		},
 		Run: runClusterSweep,
 	})
+	// The failover family replicates every shard (standby backend + ship
+	// log on the next socket) and injects deterministic faults mid-window.
+	// The point preset crashes one primary and measures the failover
+	// (detect → promote-from-shipped-log → drain); the sweep races the
+	// fault-free curve against the crash-injected one (the none leg
+	// injects no fault params, so it reproduces an uninjected replicated-
+	// less sweep byte-identically); churn cycles standby leave/join and
+	// measures the exposure (records a promotion would lose).
+	harness.Register(harness.Scenario{
+		Name: "cluster/failover/point",
+		Doc:  "mid-window primary crash on a replicated shard: detect, promote from the shipped log, drain",
+		Defaults: harness.Defaults{
+			Threads: 4, Duration: 300 * sim.Microsecond, Seed: 58,
+			Params: map[string]string{
+				"policy": PolicyLocalPacked, "shards": "2", "putlog": "1",
+				"replicate": "1", "fault": "crash",
+				"faultshard": "0", "faultat": "0.4", "detect": "2000",
+				"get": "0.5", "put": "0.5", "scan": "0",
+				"offered": "8000", "qcap": "64",
+			},
+		},
+		Run: runClusterPoint,
+	})
+	harness.Register(harness.Scenario{
+		Name: "cluster/failover/sweep",
+		Doc:  "recovery under load: fault-free vs crash-injected curves with recovery time and failover-window p99 per load level",
+		Defaults: harness.Defaults{
+			Threads: 4, Duration: 300 * sim.Microsecond, Seed: 58,
+			Params: map[string]string{
+				"policy": PolicyLocalPacked, "shards": "2", "putlog": "1",
+				"get": "0.5", "put": "0.5", "scan": "0",
+				"minkops": "2000", "maxkops": "26000", "points": "5",
+				"faultgrid": "none,crash",
+				"faultshard": "0", "faultat": "0.4", "detect": "2000",
+			},
+		},
+		Run: runClusterSweep,
+	})
+	harness.Register(harness.Scenario{
+		Name: "cluster/failover/churn",
+		Doc:  "standby leave/join churn: catch-up traffic and the unreplicated-write exposure a promotion would lose",
+		Defaults: harness.Defaults{
+			Threads: 4, Duration: 400 * sim.Microsecond, Seed: 59,
+			Params: map[string]string{
+				"policy": PolicyLocalPacked, "shards": "2", "putlog": "1",
+				"replicate": "1", "fault": "churn", "faultat": "0",
+				"churnperiod": "80", "churndown": "0.3", "churnjitter": "0.2",
+				"get": "0.5", "put": "0.5", "scan": "0",
+				"offered": "8000",
+			},
+		},
+		Run: runClusterPoint,
+	})
 }
 
 // runClusterPoint measures one open-loop load level through the cluster.
@@ -172,6 +227,16 @@ func runClusterPoint(spec harness.Spec) (harness.Trial, error) {
 	scanLen := r.Int("scanlen", 16)
 	scanMode := r.Str("scanmode", "emulate")
 	putlog := r.Bool("putlog", false)
+	replicate := r.Bool("replicate", false)
+	faultKind := r.Str("fault", "")
+	faultShard := r.Int("faultshard", 0)
+	faultAt := r.Float("faultat", 0.4)
+	faultDurNS := r.Float("faultdur", 20000)
+	detectNS := r.Float("detect", 2000)
+	faultSocket := r.Int("faultsocket", 0)
+	churnPeriodUS := r.Float("churnperiod", 80)
+	churnDown := r.Float("churndown", 0.3)
+	churnJitter := r.Float("churnjitter", 0.2)
 	qcap := r.Int("qcap", 0)
 	pollNS := r.Float("poll", 200)
 	batch := r.Int("batch", 1)
@@ -206,6 +271,20 @@ func runClusterPoint(spec harness.Spec) (harness.Trial, error) {
 	}
 	if lingerNS < 0 {
 		return harness.Trial{}, fmt.Errorf("cluster: linger must be >= 0 ns, got %g", lingerNS)
+	}
+	switch faultKind {
+	case "", "crash", "stall", "socket", "churn":
+	default:
+		return harness.Trial{}, fmt.Errorf("cluster: unknown fault %q (want crash, stall, socket or churn)", faultKind)
+	}
+	if faultKind != "" && faultKind != "stall" && !replicate {
+		return harness.Trial{}, fmt.Errorf("cluster: fault=%s needs a standby to fail over to; set replicate", faultKind)
+	}
+	if faultAt < 0 || faultAt > 1 {
+		return harness.Trial{}, fmt.Errorf("cluster: faultat is a fraction of the measured window, got %g", faultAt)
+	}
+	if detectNS < 0 {
+		return harness.Trial{}, fmt.Errorf("cluster: detect must be >= 0 ns, got %g", detectNS)
 	}
 	var nativeScan bool
 	switch scanMode {
@@ -274,7 +353,7 @@ func runClusterPoint(spec harness.Spec) (harness.Trial, error) {
 			PMBytes: pmBytes, DRAMBytes: dramBytes,
 			ScanSpan: keys, NativeScan: nativeScan,
 		},
-		PutLog:     putlog,
+		PutLog: putlog, Replicate: replicate,
 		CacheBytes: cacheBytes, CacheQuota: quotaBytes,
 		CacheAdmit: admit, CacheEvict: evict,
 		CacheTenantSpan: keys, CacheSeed: spec.Seed ^ 0x407C,
@@ -285,6 +364,43 @@ func runClusterPoint(spec harness.Spec) (harness.Trial, error) {
 	arr, err := service.NewArrival(arrival, offered*1e3, sim.Micros(cycleUS), onFrac, spec.Seed^0x5A17)
 	if err != nil {
 		return harness.Trial{}, err
+	}
+	// The fault schedule is a pure function of the point spec (seed, window,
+	// fault params), built on the serving clock: event time 0 is serving
+	// start, so faultat=f fires f of the way into the measured window.
+	var faults []fault.Event
+	if faultKind != "" {
+		at := spec.Warmup + sim.Time(faultAt*float64(spec.Duration))
+		switch faultKind {
+		case "crash":
+			faults = fault.Point(fault.Crash, faultShard, at, 0)
+		case "stall":
+			faults = fault.Point(fault.Stall, faultShard, at, sim.Nanos(faultDurNS))
+		case "socket":
+			// A whole-socket loss crashes every shard whose data lives on the
+			// lost socket — the placement resolves which ones those are.
+			var lost []int
+			for i, sp := range cl.Placement.Shards {
+				if sp.DataSocket == faultSocket {
+					lost = append(lost, i)
+				}
+			}
+			if len(lost) == 0 {
+				return harness.Trial{}, fmt.Errorf("cluster: no shard's data lives on socket %d", faultSocket)
+			}
+			faults = fault.SocketLoss(lost, at)
+		case "churn":
+			faults, err = fault.Churn(fault.ChurnConfig{
+				Seed:   spec.Seed ^ 0xFA01,
+				Shards: shards,
+				Start:  at, End: spec.Warmup + spec.Duration,
+				Period:   sim.Micros(churnPeriodUS),
+				DownFrac: churnDown, Jitter: churnJitter,
+			})
+			if err != nil {
+				return harness.Trial{}, err
+			}
+		}
 	}
 	// Tracing mirrors the single-node point scenario: a recorder keyed off
 	// the spec's Trace flag (never a param, so seeds and results are
@@ -324,6 +440,7 @@ func runClusterPoint(spec harness.Spec) (harness.Trial, error) {
 		Duration: spec.Duration, Warmup: spec.Warmup,
 		Poll: sim.Nanos(pollNS), Seed: spec.Seed,
 		BatchSize: batch, BatchLinger: sim.Nanos(lingerNS),
+		Faults: faults, Detect: sim.Nanos(detectNS),
 		Recorder: rec, CacheStats: cacheStats,
 	})
 	if err != nil {
@@ -385,6 +502,50 @@ func runClusterPoint(spec harness.Spec) (harness.Trial, error) {
 	harness.GateMetrics(m, cacheBytes > 0, func(m map[string]float64) {
 		cl.CacheCounters().Metrics(m)
 	})
+	// Replication shipping/replay readout, gated on the pairs existing
+	// (unreplicated runs stay byte-stable).
+	harness.GateMetrics(m, replicate, func(m map[string]float64) {
+		rs := cl.ReplStats()
+		m["ship_batches"] = float64(rs.ShipBatches)
+		m["ship_recs"] = float64(rs.ShipRecs)
+		m["ship_bytes"] = float64(rs.ShipBytes)
+		m["failovers"] = float64(rs.Failovers)
+		m["replay_batches"] = float64(rs.ReplayBatches)
+		m["replay_recs"] = float64(rs.ReplayRecs)
+		m["lost_recs"] = float64(rs.LostRecs)
+		m["repl_leaves"] = float64(rs.Leaves)
+		m["repl_joins"] = float64(rs.Joins)
+		m["catchup_recs"] = float64(rs.CatchupRecs)
+	})
+	// Failover outcome readout, gated on faults actually being scheduled.
+	// Worst-case promote/recovery latencies across shards, plus the
+	// during-failover-window latency distribution and shed count.
+	harness.GateMetrics(m, len(faults) > 0, func(m map[string]float64) {
+		var crashes, wops, shed int64
+		var promote, recovery float64
+		wl := stats.NewHistogram()
+		for i := range res.Failover {
+			fs := &res.Failover[i]
+			crashes += fs.Crashes
+			wops += fs.WindowOps
+			shed += fs.ShedWindow
+			if fs.PromoteNS > promote {
+				promote = fs.PromoteNS
+			}
+			if fs.RecoveryNS > recovery {
+				recovery = fs.RecoveryNS
+			}
+			if fs.WindowLatency != nil {
+				wl.Merge(fs.WindowLatency)
+			}
+		}
+		m["crashes"] = float64(crashes)
+		m["promote_ns"] = promote
+		m["recovery_ns"] = recovery
+		m["failover_window_ops"] = float64(wops)
+		m["failover_p99_ns"] = wl.Percentile(0.99)
+		m["failover_shed_ops"] = float64(shed)
+	})
 	tr := harness.Trial{
 		Ops:     res.Completed,
 		Sim:     res.Window,
@@ -438,6 +599,10 @@ func runClusterSweep(spec harness.Spec) (harness.Trial, error) {
 	if err != nil {
 		return harness.Trial{}, err
 	}
+	faultGrid, faultExtras, err := faultGridParams(rest)
+	if err != nil {
+		return harness.Trial{}, err
+	}
 
 	tr := harness.Trial{Metrics: make(map[string]float64)}
 	var trace *telemetry.Trace
@@ -445,74 +610,151 @@ func runClusterSweep(spec harness.Spec) (harness.Trial, error) {
 	for _, policy := range policies {
 		for _, batch := range batchGrid {
 			for _, cache := range cacheGrid {
-				leg := service.CacheLegParams(service.BatchLegParams(rest, batch, linger), cache, cacheExtras)
-				params := make(map[string]string, len(leg)+1)
-				for k, v := range leg {
-					params[k] = v
-				}
-				params["policy"] = policy
-				curve, err := RunSweep(SweepConfig{
-					Params:  params,
-					Threads: spec.Threads, Duration: spec.Duration, Warmup: spec.Warmup,
-					Seed:    spec.Seed,
-					MinKops: minKops, MaxKops: maxKops, Points: int(pointsF),
-					Parallel: spec.Parallel,
-					Trace:    spec.Trace,
-				})
-				if err != nil {
-					return harness.Trial{}, err
-				}
-				suffix := ""
-				if len(policies) > 1 {
-					suffix = "@" + policy
-				}
-				if len(batchGrid) > 1 {
-					suffix += fmt.Sprintf("@b%d", batch)
-				}
-				if len(cacheGrid) > 1 {
-					suffix += fmt.Sprintf("@c%d", cache)
-				}
-				trace = service.MergeCurveTrace(trace, curve, suffix)
-				service.EmitCurve(&tr, curve, suffix)
-				// Fence amortization at the deepest grid point, present on the
-				// group-commit legs only.
-				if f, ok := curve[len(curve)-1].Metrics["pmem_fence_per_op"]; ok {
-					tr.Metrics["fence_per_op_deep"+suffix] = f
-				}
-				// Tier hit rate at the deepest grid point, present on the
-				// cached legs only (same gating as the point metrics).
-				if f, ok := curve[len(curve)-1].Metrics["cache_hit_rate"]; ok {
-					tr.Metrics["cache_hit_rate_deep"+suffix] = f
-				}
-				// Deep-overload shed accounting: who gets dropped at the top of
-				// the grid (per-tenant keys appear only once the point sheds).
-				deep := curve[len(curve)-1].Metrics
-				var shedKeys []string
-				for k := range deep {
-					if strings.HasSuffix(k, "_shed_ops") {
-						shedKeys = append(shedKeys, k)
+				for _, flt := range faultGrid {
+					leg := faultLegParams(service.CacheLegParams(service.BatchLegParams(rest, batch, linger), cache, cacheExtras), flt, faultExtras)
+					params := make(map[string]string, len(leg)+1)
+					for k, v := range leg {
+						params[k] = v
 					}
+					params["policy"] = policy
+					curve, err := RunSweep(SweepConfig{
+						Params:  params,
+						Threads: spec.Threads, Duration: spec.Duration, Warmup: spec.Warmup,
+						Seed:    spec.Seed,
+						MinKops: minKops, MaxKops: maxKops, Points: int(pointsF),
+						Parallel: spec.Parallel,
+						Trace:    spec.Trace,
+					})
+					if err != nil {
+						return harness.Trial{}, err
+					}
+					suffix := ""
+					if len(policies) > 1 {
+						suffix = "@" + policy
+					}
+					if len(batchGrid) > 1 {
+						suffix += fmt.Sprintf("@b%d", batch)
+					}
+					if len(cacheGrid) > 1 {
+						suffix += fmt.Sprintf("@c%d", cache)
+					}
+					if len(faultGrid) > 1 {
+						suffix += "@f" + flt
+					}
+					trace = service.MergeCurveTrace(trace, curve, suffix)
+					service.EmitCurve(&tr, curve, suffix)
+					// Fence amortization at the deepest grid point, present on the
+					// group-commit legs only.
+					if f, ok := curve[len(curve)-1].Metrics["pmem_fence_per_op"]; ok {
+						tr.Metrics["fence_per_op_deep"+suffix] = f
+					}
+					// Tier hit rate at the deepest grid point, present on the
+					// cached legs only (same gating as the point metrics).
+					if f, ok := curve[len(curve)-1].Metrics["cache_hit_rate"]; ok {
+						tr.Metrics["cache_hit_rate_deep"+suffix] = f
+					}
+					// Recovery-under-load curve: per-point failover readouts,
+					// present only on the fault-injected legs (each point crashes
+					// and recovers under its own offered load).
+					for _, key := range []string{"recovery_ns", "promote_ns", "failover_p99_ns", "lost_recs"} {
+						for _, pt := range curve {
+							if f, ok := pt.Metrics[key]; ok {
+								tr.Metrics[fmt.Sprintf("%s@%g%s", key, pt.OfferedKops, suffix)] = f
+							}
+						}
+					}
+					// Deep-overload shed accounting: who gets dropped at the top of
+					// the grid (per-tenant keys appear only once the point sheds).
+					deep := curve[len(curve)-1].Metrics
+					var shedKeys []string
+					for k := range deep {
+						if strings.HasSuffix(k, "_shed_ops") {
+							shedKeys = append(shedKeys, k)
+						}
+					}
+					sort.Strings(shedKeys)
+					for _, k := range shedKeys {
+						tr.Metrics[k+suffix] = deep[k]
+					}
+					title := fmt.Sprintf("cluster sweep: policy %s, %d shards, %s workers/shard",
+						policy, atoiOr(rest["shards"], 2), workersLabel(spec.Threads))
+					if len(batchGrid) > 1 {
+						title += fmt.Sprintf(", batch %d", batch)
+					}
+					if len(cacheGrid) > 1 {
+						title += fmt.Sprintf(", cache %d B", cache)
+					}
+					if len(faultGrid) > 1 {
+						title += ", fault " + flt
+					}
+					text.WriteString(curve.TSV(title))
+					text.WriteByte('\n')
 				}
-				sort.Strings(shedKeys)
-				for _, k := range shedKeys {
-					tr.Metrics[k+suffix] = deep[k]
-				}
-				title := fmt.Sprintf("cluster sweep: policy %s, %d shards, %s workers/shard",
-					policy, atoiOr(rest["shards"], 2), workersLabel(spec.Threads))
-				if len(batchGrid) > 1 {
-					title += fmt.Sprintf(", batch %d", batch)
-				}
-				if len(cacheGrid) > 1 {
-					title += fmt.Sprintf(", cache %d B", cache)
-				}
-				text.WriteString(curve.TSV(title))
-				text.WriteByte('\n')
 			}
 		}
 	}
 	tr.Text = strings.TrimRight(text.String(), "\n")
 	tr.Trace = trace
 	return tr, nil
+}
+
+// faultGridParams consumes the failover sweep params: "faultgrid" (a
+// comma-separated list of fault kinds; "none" is the fault-free leg, and
+// the default grid is just that) plus the companions that reach only the
+// injected legs — faultshard/faultat/faultdur/detect/faultsocket and the
+// churn knobs. Mirrors BatchGridParams/CacheGridParams: the fault-free
+// leg's point specs carry no fault keys at all, so its curve reproduces
+// an uninjected sweep's byte-identically.
+func faultGridParams(params map[string]string) (grid []string, extras map[string]string, err error) {
+	grid = []string{"none"}
+	if fg, ok := params["faultgrid"]; ok {
+		delete(params, "faultgrid")
+		grid = grid[:0]
+		for _, s := range strings.Split(fg, ",") {
+			name := strings.TrimSpace(s)
+			switch name {
+			case "none", "crash", "stall", "socket", "churn":
+			default:
+				return nil, nil, fmt.Errorf("param faultgrid=%q: want comma-separated kinds from none, crash, stall, socket, churn", fg)
+			}
+			grid = append(grid, name)
+		}
+	}
+	for _, key := range []string{
+		"faultshard", "faultat", "faultdur", "detect", "faultsocket",
+		"churnperiod", "churndown", "churnjitter",
+	} {
+		if v, ok := params[key]; ok {
+			delete(params, key)
+			if extras == nil {
+				extras = make(map[string]string)
+			}
+			extras[key] = v
+		}
+	}
+	return grid, extras, nil
+}
+
+// faultLegParams renders one fault-grid leg's point params: "none" passes
+// base through untouched (no fault keys — the spec must stay byte-identical
+// to an uninjected sweep's), injected legs copy base and add the fault kind,
+// its companions and — for kinds that fail over — the replicated topology.
+func faultLegParams(base map[string]string, name string, extras map[string]string) map[string]string {
+	if name == "none" {
+		return base
+	}
+	params := make(map[string]string, len(base)+2+len(extras))
+	for k, v := range base {
+		params[k] = v
+	}
+	params["fault"] = name
+	if name != "stall" {
+		params["replicate"] = "1"
+	}
+	for k, v := range extras {
+		params[k] = v
+	}
+	return params
 }
 
 func atoiOr(s string, def int) int {

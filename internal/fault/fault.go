@@ -1,0 +1,184 @@
+// Package fault generates deterministic, seeded fault-event streams for
+// the serving stack: shard crashes, DIMM stalls and churn-style repeated
+// standby leave/join cycles, all scheduled in sim time as a pure function
+// of a seed and a window. The generators never touch wall clocks or
+// global randomness, so an injected run is exactly as reproducible as a
+// fault-free one — byte-identical output at any -parallel width, with
+// the schedule itself folded into the job spec the trial seed derives
+// from.
+//
+// The package is deliberately a leaf: it knows nothing about shards
+// beyond their indices. Placement-level failures (losing a socket takes
+// every shard homed on it) are resolved into per-shard events by the
+// caller, which is the layer that knows the placement.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"optanestudy/internal/sim"
+)
+
+// Kind is a fault event type.
+type Kind int
+
+// Event kinds.
+const (
+	// Crash is a fail-stop of the shard's primary storage node: serving
+	// pauses, and after the detection delay the replica is promoted.
+	Crash Kind = iota
+	// Stall pauses the shard's execution for Dur (a DIMM that stops
+	// answering — thermal throttle, media retry storm) without losing
+	// state; requests queue or shed until the stall lifts.
+	Stall
+	// Leave detaches the shard's standby: shipping stops and the primary
+	// buffers the unshipped tail until a Join.
+	Leave
+	// Join (re)attaches a standby, which catches up on the history it
+	// missed and then resumes synchronous shipping.
+	Join
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Stall:
+		return "stall"
+	case Leave:
+		return "leave"
+	case Join:
+		return "join"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled fault, targeted at a shard at an absolute sim
+// time. Dur is the stall length (Stall only).
+type Event struct {
+	At    sim.Time
+	Kind  Kind
+	Shard int
+	Dur   sim.Time
+}
+
+// Sort orders events by (time, shard, kind) — the deterministic
+// application order the serving driver walks.
+func Sort(evs []Event) {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		return a.Kind < b.Kind
+	})
+}
+
+// Validate checks every event targets a shard in [0, shards) with a
+// nonnegative time, and that the slice is sorted.
+func Validate(evs []Event, shards int) error {
+	for i, ev := range evs {
+		if ev.Shard < 0 || ev.Shard >= shards {
+			return fmt.Errorf("fault: event %d targets shard %d of %d", i, ev.Shard, shards)
+		}
+		if ev.At < 0 || ev.Dur < 0 {
+			return fmt.Errorf("fault: event %d has a negative time", i)
+		}
+		if i > 0 && evs[i-1].At > ev.At {
+			return fmt.Errorf("fault: events out of order at %d", i)
+		}
+	}
+	return nil
+}
+
+// Point returns a one-shot schedule: a single event of the given kind.
+func Point(kind Kind, shard int, at, dur sim.Time) []Event {
+	return []Event{{At: at, Kind: kind, Shard: shard, Dur: dur}}
+}
+
+// SocketLoss expands a whole-socket failure into simultaneous crashes of
+// every listed shard (the caller resolves placement — which shards are
+// homed on the lost socket).
+func SocketLoss(shards []int, at sim.Time) []Event {
+	evs := make([]Event, 0, len(shards))
+	for _, s := range shards {
+		evs = append(evs, Event{At: at, Kind: Crash, Shard: s})
+	}
+	Sort(evs)
+	return evs
+}
+
+// ChurnConfig parameterizes a churn stream: repeated standby leave/join
+// cycles rather than one-shot kills.
+type ChurnConfig struct {
+	// Seed drives the per-shard jitter streams (derive it from the job
+	// seed so the schedule is part of the spec's identity).
+	Seed uint64
+	// Shards is how many shards churn; every one gets its own cycle
+	// stream, phase-shifted so the cluster never loses all standbys at
+	// once.
+	Shards int
+	// Start and End bound the event window (absolute sim time). Cycles
+	// that would start past End are dropped; a Leave always gets its Join
+	// inside the window or is dropped with it, so a churn run never ends
+	// with a standby stranded by the generator.
+	Start, End sim.Time
+	// Period is the mean leave-to-leave cycle length per shard.
+	Period sim.Time
+	// DownFrac is the fraction of each cycle the standby spends departed,
+	// in (0, 1).
+	DownFrac float64
+	// Jitter scales each interval by a factor uniform in [1-Jitter,
+	// 1+Jitter]; 0 is strictly periodic.
+	Jitter float64
+}
+
+// Churn generates the seeded leave/join stream: per shard, a phase-
+// shifted sequence of (leave at t, join at t+down) cycles with jittered
+// periods, merged and sorted. Pure: the same config always yields the
+// same schedule.
+func Churn(c ChurnConfig) ([]Event, error) {
+	if c.Shards < 1 {
+		return nil, fmt.Errorf("fault: churn needs at least one shard, got %d", c.Shards)
+	}
+	if c.Period <= 0 || c.End <= c.Start {
+		return nil, fmt.Errorf("fault: churn needs a positive period and window")
+	}
+	if c.DownFrac <= 0 || c.DownFrac >= 1 {
+		return nil, fmt.Errorf("fault: churn downfrac must be in (0,1), got %g", c.DownFrac)
+	}
+	if c.Jitter < 0 || c.Jitter >= 1 {
+		return nil, fmt.Errorf("fault: churn jitter must be in [0,1), got %g", c.Jitter)
+	}
+	var evs []Event
+	for s := 0; s < c.Shards; s++ {
+		rng := sim.NewRNG(c.Seed + uint64(s)*0x9E3779B97F4A7C15 + 0x5A17)
+		jit := func(t sim.Time) sim.Time {
+			if c.Jitter == 0 {
+				return t
+			}
+			f := 1 + c.Jitter*(2*rng.Float64()-1)
+			return sim.Time(float64(t) * f)
+		}
+		// Phase-shift shard s by s/Shards of a period so departures
+		// stagger across the cluster.
+		t := c.Start + sim.Time(int64(c.Period)*int64(s)/int64(c.Shards))
+		for {
+			leave := t + jit(c.Period-sim.Time(float64(c.Period)*c.DownFrac))
+			join := leave + jit(sim.Time(float64(c.Period)*c.DownFrac))
+			if join >= c.End {
+				break
+			}
+			evs = append(evs, Event{At: leave, Kind: Leave, Shard: s})
+			evs = append(evs, Event{At: join, Kind: Join, Shard: s})
+			t = join
+		}
+	}
+	Sort(evs)
+	return evs, nil
+}

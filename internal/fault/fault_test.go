@@ -1,0 +1,118 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"optanestudy/internal/sim"
+)
+
+func TestChurnDeterministic(t *testing.T) {
+	cfg := ChurnConfig{
+		Seed: 77, Shards: 4,
+		Start: 100 * sim.Microsecond, End: 700 * sim.Microsecond,
+		Period: 80 * sim.Microsecond, DownFrac: 0.3, Jitter: 0.4,
+	}
+	a, err := Churn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Churn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config produced different schedules")
+	}
+	if len(a) == 0 {
+		t.Fatalf("churn window produced no events")
+	}
+	if err := Validate(a, cfg.Shards); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Churn(ChurnConfig{
+		Seed: 78, Shards: 4,
+		Start: 100 * sim.Microsecond, End: 700 * sim.Microsecond,
+		Period: 80 * sim.Microsecond, DownFrac: 0.3, Jitter: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds produced identical jittered schedules")
+	}
+}
+
+// Per shard, churn must alternate strictly leave → join → leave …, start
+// with a leave, and end joined (no standby stranded by the generator).
+func TestChurnAlternates(t *testing.T) {
+	evs, err := Churn(ChurnConfig{
+		Seed: 9, Shards: 3,
+		Start: 0, End: sim.Millisecond,
+		Period: 60 * sim.Microsecond, DownFrac: 0.4, Jitter: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := map[int]Kind{}
+	for _, ev := range evs {
+		if ev.Kind != Leave && ev.Kind != Join {
+			t.Fatalf("churn emitted %v", ev.Kind)
+		}
+		prev, seen := last[ev.Shard]
+		switch {
+		case !seen && ev.Kind != Leave:
+			t.Fatalf("shard %d starts with %v", ev.Shard, ev.Kind)
+		case seen && prev == ev.Kind:
+			t.Fatalf("shard %d repeats %v", ev.Shard, ev.Kind)
+		}
+		last[ev.Shard] = ev.Kind
+		if ev.At >= sim.Millisecond {
+			t.Fatalf("event at %v past the window end", ev.At)
+		}
+	}
+	for s, k := range last {
+		if k != Join {
+			t.Fatalf("shard %d ends departed", s)
+		}
+	}
+}
+
+func TestSocketLossAndValidate(t *testing.T) {
+	evs := SocketLoss([]int{2, 0}, 50*sim.Microsecond)
+	if len(evs) != 2 || evs[0].Shard != 0 || evs[1].Shard != 2 {
+		t.Fatalf("socket loss events mis-sorted: %+v", evs)
+	}
+	for _, ev := range evs {
+		if ev.Kind != Crash || ev.At != 50*sim.Microsecond {
+			t.Fatalf("bad socket-loss event %+v", ev)
+		}
+	}
+	if err := Validate(evs, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(evs, 2); err == nil {
+		t.Fatalf("out-of-range shard not caught")
+	}
+	if err := Validate([]Event{{At: 5}, {At: 3}}, 1); err == nil {
+		t.Fatalf("unsorted events not caught")
+	}
+}
+
+func TestChurnRejectsBadConfig(t *testing.T) {
+	base := ChurnConfig{Seed: 1, Shards: 2, Start: 0, End: sim.Millisecond, Period: 50 * sim.Microsecond, DownFrac: 0.3}
+	for name, mut := range map[string]func(*ChurnConfig){
+		"no-shards":  func(c *ChurnConfig) { c.Shards = 0 },
+		"no-period":  func(c *ChurnConfig) { c.Period = 0 },
+		"bad-window": func(c *ChurnConfig) { c.End = 0 },
+		"down-high":  func(c *ChurnConfig) { c.DownFrac = 1 },
+		"down-low":   func(c *ChurnConfig) { c.DownFrac = 0 },
+		"jitter":     func(c *ChurnConfig) { c.Jitter = 1 },
+	} {
+		c := base
+		mut(&c)
+		if _, err := Churn(c); err == nil {
+			t.Errorf("%s: bad config accepted", name)
+		}
+	}
+}

@@ -80,6 +80,9 @@ func CLIMain(argv []string, opts CLIOptions) int {
 	lingerNS := fs.Float64("linger", -1, "group-commit linger bound in ns for serving scenarios (negative = scenario default; shorthand for -p linger=NS)")
 	cacheBytes := fs.Int64("cache", 0, "DRAM hot-tier capacity in bytes for serving scenarios (0 = scenario default; shorthand for -p cache=N)")
 	quotaBytes := fs.Int64("quota", 0, "per-tenant hot-tier byte quota (0 = scenario default; shorthand for -p quota=N)")
+	faultKind := fs.String("fault", "", "fault to inject in cluster failover scenarios: crash, stall, socket or churn (empty = scenario default; shorthand for -p fault=K)")
+	detectNS := fs.Float64("detect", -1, "crash-detection delay in ns before promotion starts (negative = scenario default; shorthand for -p detect=NS)")
+	replicate := fs.Bool("replicate", false, "pair every shard with a standby replica on the next socket (shorthand for -p replicate=1)")
 	tracePath := fs.String("trace", "", "write per-op phase spans and timeline samples as an optanestudy-trace/v1 JSONL stream to this file (tracing is off when empty; results are unchanged either way)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -138,6 +141,15 @@ func CLIMain(argv []string, opts CLIOptions) int {
 	}
 	if *quotaBytes > 0 {
 		params["quota"] = strconv.FormatInt(*quotaBytes, 10)
+	}
+	if *faultKind != "" {
+		params["fault"] = *faultKind
+	}
+	if *detectNS >= 0 {
+		params["detect"] = strconv.FormatFloat(*detectNS, 'g', -1, 64)
+	}
+	if *replicate {
+		params["replicate"] = "1"
 	}
 
 	globs := fs.Args()

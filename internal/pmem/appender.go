@@ -56,6 +56,7 @@ type Appender struct {
 	w       *Persister
 	head    int64
 	wraps   int64
+	hiWater int64 // farthest byte ever written (the Truncate erase bound)
 	scratch []byte
 
 	// Group-commit state. mirror holds the open batch's framed payload,
@@ -132,6 +133,9 @@ func (a *Appender) Append(ctx *platform.MemCtx, rec []byte) (int64, error) {
 	}
 	a.w.Persist(ctx, a.r, head, len(rec), rec)
 	a.head = head + n
+	if a.head > a.hiWater {
+		a.hiWater = a.head
+	}
 	return head, nil
 }
 
@@ -233,6 +237,9 @@ func (a *Appender) Commit(ctx *platform.MemCtx) error {
 	}
 	a.w.Fence(ctx)
 	a.head = a.batchStart + total
+	if a.head > a.hiWater {
+		a.hiWater = a.head
+	}
 	a.w.C.Batches++
 	a.w.C.BatchOps += int64(a.batchCount)
 	a.seq++
@@ -366,8 +373,61 @@ func (a *Appender) Head() int64 { return a.head }
 // Wraps returns how many times the stream restarted at the region start.
 func (a *Appender) Wraps() int64 { return a.wraps }
 
+// Region returns the appender's backing region (replica promotion walks
+// it with RecoverBatches).
+func (a *Appender) Region() Region { return a.r }
+
 // Persister returns the appender's policy object (for counter readout).
 func (a *Appender) Persister() *Persister { return a.w }
 
-// Reset rewinds the head without touching durable contents.
+// Reset rewinds the head without touching durable contents: the next
+// Append overwrites the old stream in place. Stale bytes stay readable
+// until overwritten, so a batched stream meant for recovery must use
+// Truncate instead — RecoverBatches cannot tell a stale committed batch
+// from a live one.
 func (a *Appender) Reset() { a.head, a.wraps = 0, 0 }
+
+// truncateChunk bounds the zeroing stream's write granularity.
+const truncateChunk = 256 << 10
+
+// Truncate durably erases the stream and rewinds it to a fresh log: every
+// byte the appender ever wrote is zeroed with the persister's policy and
+// ONE fence, and head, wrap count and batch sequence all reset. A rebuilt
+// replica reuses its region through Truncate instead of reallocating.
+//
+// The whole written prefix is erased, not just the first frame: a new era
+// writing same-shaped batches at the same offsets could otherwise run its
+// recovery walk off the end of its own stream and straight into a stale
+// old-era batch whose sequence, count and CRC still verify — replaying
+// records that were never written in this era. Zeroing pays real media
+// bandwidth (hiWater bytes of non-temporal stream on the log's DIMMs),
+// which is exactly the rebuild cost the failover scenarios measure.
+//
+// Truncating with a batch open is an error — the staged records have no
+// home once the sequence rewinds.
+func (a *Appender) Truncate(ctx *platform.MemCtx) error {
+	if a.inBatch {
+		return fmt.Errorf("pmem: Truncate inside an open batch (commit or abandon it first)")
+	}
+	if a.hiWater > 0 {
+		n := a.hiWater
+		if n > truncateChunk {
+			n = truncateChunk
+		}
+		zero := a.Scratch(int(n))
+		for i := range zero {
+			zero[i] = 0
+		}
+		for off := int64(0); off < a.hiWater; off += int64(len(zero)) {
+			n := int64(len(zero))
+			if off+n > a.hiWater {
+				n = a.hiWater - off
+			}
+			a.w.Write(ctx, a.r, off, int(n), zero[:n])
+		}
+		a.w.Fence(ctx)
+	}
+	a.head, a.wraps, a.hiWater = 0, 0, 0
+	a.seq = 1
+	return nil
+}

@@ -234,6 +234,12 @@ func TestTornBatchRecovery(t *testing.T) {
 	}{
 		{"pad175", func(i int) int { return 80 + i*7 }},
 		{"pad3", func(i int) int { return 58 + i }},
+		// The replica ship-log record shape: fixed 8-byte key/val header
+		// plus a 16-byte key and 128-byte value, the framing a primary
+		// ships to its standby. A shipment torn by a primary crash must
+		// replay as exactly the committed prefix — the promoted standby's
+		// correctness contract.
+		{"shipped", func(i int) int { return 8 + 16 + 128 }},
 	}
 	for _, prof := range profiles {
 		for _, pol := range Policies() {

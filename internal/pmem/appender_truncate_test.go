@@ -1,0 +1,182 @@
+package pmem
+
+import (
+	"testing"
+
+	"optanestudy/internal/platform"
+)
+
+// Truncate must start a genuinely fresh recovery era: every byte of the
+// old stream durably zeroed, head/wraps/sequence rewound, and a new
+// stream's replay must see ONLY new-era batches. The whole-prefix erase
+// matters: a new era writing fewer bytes than the old one would
+// otherwise run its recovery walk off its own tail and straight into a
+// stale old-era batch whose sequence, count and CRC still verify.
+func TestTruncateFreshEra(t *testing.T) {
+	p, ns := testPlatform(t)
+	reg, err := NewRegion(ns, 0, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewPersister(NTStream)
+	a := NewAppender(reg, w)
+	var newRecs [][]byte
+	p.Go("w", 0, func(ctx *platform.MemCtx) {
+		// Old era: three committed batches.
+		for b := 0; b < 3; b++ {
+			a.Begin()
+			for i := 0; i < 2; i++ {
+				if _, err := a.Add(ctx, pattern(uint64(b*7+i), 120)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := a.Commit(ctx); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		fences := w.C.Fences
+		if err := a.Truncate(ctx); err != nil {
+			t.Error(err)
+			return
+		}
+		if w.C.Fences != fences+1 {
+			t.Errorf("truncate issued %d fences, want 1", w.C.Fences-fences)
+		}
+		if a.Head() != 0 || a.Wraps() != 0 {
+			t.Errorf("post-truncate head/wraps = %d/%d, want 0/0", a.Head(), a.Wraps())
+		}
+		// New era: ONE batch, shorter than the old stream. Its recovery
+		// walk must stop at its own tail, not resurrect old-era batches.
+		a.Begin()
+		if got := a.BatchStart(); got != 0 {
+			t.Errorf("post-truncate batch start = %d, want 0", got)
+		}
+		rec := pattern(99, 120)
+		newRecs = append(newRecs, rec)
+		if _, err := a.Add(ctx, rec); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := a.Commit(ctx); err != nil {
+			t.Error(err)
+		}
+	})
+	p.Run()
+	p.Crash()
+	var got [][]byte
+	batches, n := RecoverBatches(reg, func(rec []byte) {
+		got = append(got, append([]byte(nil), rec...))
+	})
+	if batches != 1 || n != 1 {
+		t.Fatalf("recovered %d batches / %d records after truncate, want 1 / 1 (stale era resurrected?)", batches, n)
+	}
+	if string(got[0]) != string(newRecs[0]) {
+		t.Fatal("recovered record is not the new era's")
+	}
+}
+
+// An empty truncate (nothing ever written) must not write or fence, and
+// truncating a wrapped stream must rewind the wrap count so the next
+// era's batches place like a fresh log's.
+func TestTruncateWrapAndEmpty(t *testing.T) {
+	p, ns := testPlatform(t)
+	reg, err := NewRegion(ns, 0, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewPersister(NTStream)
+	a := NewAppender(reg, w)
+	p.Go("w", 0, func(ctx *platform.MemCtx) {
+		if err := a.Truncate(ctx); err != nil {
+			t.Error(err)
+			return
+		}
+		if w.C.Fences != 0 {
+			t.Errorf("empty truncate fenced (%d fences)", w.C.Fences)
+		}
+		// Three 512-byte batches in a 1 KiB region force a wrap.
+		for b := 0; b < 3; b++ {
+			a.Begin()
+			if _, err := a.Add(ctx, pattern(uint64(b), 400)); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := a.Commit(ctx); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if a.Wraps() == 0 {
+			t.Error("stream never wrapped; geometry assumption broken")
+		}
+		if err := a.Truncate(ctx); err != nil {
+			t.Error(err)
+			return
+		}
+		if a.Head() != 0 || a.Wraps() != 0 {
+			t.Errorf("post-truncate head/wraps = %d/%d, want 0/0", a.Head(), a.Wraps())
+		}
+		// The next era recovers cleanly from sequence 1.
+		a.Begin()
+		if _, err := a.Add(ctx, pattern(42, 100)); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := a.Commit(ctx); err != nil {
+			t.Error(err)
+		}
+	})
+	p.Run()
+	p.Crash()
+	if batches, n := RecoverBatches(reg, func([]byte) {}); batches != 1 || n != 1 {
+		t.Fatalf("post-wrap truncate era recovered %d/%d, want 1/1", batches, n)
+	}
+}
+
+// Truncating with a batch open must error (the staged records would have
+// no home once the sequence rewinds); Reset must NOT erase — its stale
+// bytes stay readable, which is exactly why batched recovery streams use
+// Truncate.
+func TestTruncateOpenBatchAndResetContrast(t *testing.T) {
+	p, ns := testPlatform(t)
+	reg, err := NewRegion(ns, 0, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAppender(reg, NewPersister(NTStream))
+	rec := pattern(7, 64)
+	p.Go("w", 0, func(ctx *platform.MemCtx) {
+		a.Begin()
+		if _, err := a.Add(ctx, rec); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := a.Truncate(ctx); err == nil {
+			t.Error("Truncate inside an open batch accepted")
+		}
+		if err := a.Commit(ctx); err != nil {
+			t.Error(err)
+			return
+		}
+		a.Reset()
+		got := make([]byte, len(rec))
+		reg.ReadDurable(4, got) // payload sits after its 4-byte frame
+		if string(got) != string(rec) {
+			t.Error("Reset erased the stream; it must only rewind the head")
+		}
+		if err := a.Truncate(ctx); err != nil {
+			t.Error(err)
+			return
+		}
+		reg.ReadDurable(4, got)
+		for i, b := range got {
+			if b != 0 {
+				t.Errorf("byte %d still %#x after Truncate", i, b)
+				break
+			}
+		}
+	})
+	p.Run()
+}

@@ -121,3 +121,24 @@ func (l *AppendLog) Counters() pmem.Counters {
 
 // Workers returns how many per-worker logs the set holds.
 func (l *AppendLog) Workers() int { return len(l.logs) }
+
+// Appender returns worker w's underlying appender. The replica layer
+// reaches through it to truncate a rebuilt standby's log and to walk the
+// shipped stream with pmem.RecoverBatches at promotion.
+func (l *AppendLog) Appender(w int) *pmem.Appender { return l.logs[w] }
+
+// DecodeRecord splits one logged record back into its key and value —
+// the inverse of the framing Append and Add write. Replica promotion
+// decodes recovered shipment records with it before replaying them into
+// the standby's backend. The returned slices alias rec.
+func DecodeRecord(rec []byte) (key, val []byte, err error) {
+	if len(rec) < 8 {
+		return nil, nil, fmt.Errorf("service: log record truncated (%d bytes)", len(rec))
+	}
+	kl := int(binary.LittleEndian.Uint32(rec[0:]))
+	vl := int(binary.LittleEndian.Uint32(rec[4:]))
+	if kl < 0 || vl < 0 || 8+kl+vl != len(rec) {
+		return nil, nil, fmt.Errorf("service: log record header (%d+%d) disagrees with %d-byte record", kl, vl, len(rec))
+	}
+	return rec[8 : 8+kl], rec[8+kl:], nil
+}

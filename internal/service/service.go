@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 
+	"optanestudy/internal/fault"
 	"optanestudy/internal/platform"
 	"optanestudy/internal/sim"
 	"optanestudy/internal/stats"
@@ -81,6 +82,10 @@ type Shard struct {
 	// PutLog, when set, switches this shard's PUTs to write-behind logging
 	// on per-worker appenders (indexed by shard-local worker id).
 	PutLog *AppendLog
+	// Repl, when set, replicates this shard: every logged PUT is mirrored
+	// through it (shipping synchronously while the standby is synced), and
+	// fault events fail the shard over through it. Requires PutLog.
+	Repl Replicator
 }
 
 // Config configures one open-loop serving run.
@@ -142,6 +147,17 @@ type Config struct {
 	// short batches immediately.
 	BatchLinger sim.Time
 	Seed        uint64
+	// Faults is the run's deterministic fault schedule, sorted by time on
+	// the serving clock (warmup included — an event at cfg.Warmup + t
+	// fires t into the measured window). Crash, Leave and Join events
+	// require the target shard to carry a Replicator; Stall only needs the
+	// shard to exist. Empty (the default) keeps every fault branch off the
+	// hot path's nil checks, so fault-free runs are byte-identical to
+	// pre-fault builds.
+	Faults []fault.Event
+	// Detect is the crash-detection delay: a failover starts Detect after
+	// the crash instant (default 0 — promotion starts immediately).
+	Detect sim.Time
 	// Recorder, when non-nil, traces every measured request's phase span
 	// (queue-wait → batch-wait → service → persist) and, when its
 	// sampling interval is set, spawns a read-only timeline sampler proc.
@@ -201,6 +217,9 @@ type Result struct {
 	// aggregate queueing delay); MaxQueueLen is the high-water mark.
 	QueueResidency sim.Time
 	MaxQueueLen    int
+	// Failover is the per-shard fault/failover breakdown, indexed like
+	// Shards; nil when the run configured no replication and no faults.
+	Failover []FailoverStats
 }
 
 // Utilization returns the worker pool's busy fraction over the window.
@@ -258,6 +277,10 @@ type shardState struct {
 	dropped   int64
 	completed int64
 	latency   *stats.Histogram
+	// fo is the shard's fault/failover state; nil on fault-free shards,
+	// keeping the dispatch and worker hot paths one nil-check away from
+	// their pre-fault form.
+	fo *failoverState
 }
 
 // serveState is the dispatcher/worker shared state.
@@ -266,9 +289,11 @@ type serveState struct {
 	closed  bool
 	tenants []TenantStats
 	// rec is the trace recorder (nil = tracing off, the hot-path default);
-	// cacheStats is the GET hit/miss attribution snapshot.
+	// cacheStats is the GET hit/miss attribution snapshot; warmEnd anchors
+	// fault/failover event timestamps to the measured window's clock.
 	rec        *telemetry.Recorder
 	cacheStats func() (hits, misses int64)
+	warmEnd    sim.Time
 }
 
 // full reports whether the admission queue is at capacity (the shed
@@ -390,6 +415,9 @@ func Serve(cfg Config) (*Result, error) {
 	if cfg.Poll <= 0 {
 		cfg.Poll = 200 * sim.Nanosecond
 	}
+	if err := validateFaults(&cfg, shards); err != nil {
+		return nil, err
+	}
 
 	p := cfg.Platform
 	st := &serveState{
@@ -402,6 +430,21 @@ func Serve(cfg Config) (*Result, error) {
 		st.shards[i].idx = i
 		st.shards[i].latency = stats.NewHistogram()
 		st.shards[i].occ = sim.NewBoundedQueue(caps[i])
+	}
+	// Fault machinery exists only on shards that need it: replicated
+	// shards and stall targets. Everything else keeps a nil fo.
+	hasFaults := false
+	for i := range shards {
+		if shards[i].Repl != nil {
+			st.shards[i].fo = newFailoverState(shards[i].Repl)
+			hasFaults = true
+		}
+	}
+	for _, ev := range cfg.Faults {
+		if st.shards[ev.Shard].fo == nil {
+			st.shards[ev.Shard].fo = newFailoverState(nil)
+			hasFaults = true
+		}
 	}
 	gens := make([]*keyGen, len(cfg.Tenants))
 	for i, tn := range cfg.Tenants {
@@ -426,6 +469,7 @@ func Serve(cfg Config) (*Result, error) {
 
 	start := p.Now()
 	warmEnd := start + cfg.Warmup
+	st.warmEnd = warmEnd
 	deadline := warmEnd + cfg.Duration
 	getCut := cfg.GetFrac / total
 	putCut := (cfg.GetFrac + cfg.PutFrac) / total
@@ -485,6 +529,9 @@ func Serve(cfg Config) (*Result, error) {
 					if measured {
 						st.tenants[ti].Dropped++
 						sh.dropped++
+						if fo := sh.fo; fo != nil && fo.inWindow {
+							fo.st.ShedWindow++
+						}
 						st.rec.RecordShed(ti, si)
 					}
 					continue
@@ -500,6 +547,9 @@ func Serve(cfg Config) (*Result, error) {
 				if measured {
 					st.tenants[ti].Dropped++
 					sh.dropped++
+					if fo := sh.fo; fo != nil && fo.inWindow {
+						fo.st.ShedWindow++
+					}
 					st.rec.RecordShed(ti, 0)
 				}
 				continue
@@ -533,7 +583,15 @@ func Serve(cfg Config) (*Result, error) {
 					proc := ctx.Proc()
 					sc := newOpScratch(cfg)
 					batch := make([]request, 0, cfg.BatchSize)
+					fo := sh.fo
 					for runErr == nil {
+						if fo != nil && fo.blocked(proc.Now()) {
+							// Shard storage is down or stalled: the pool
+							// survives (the frontend lives on) but cannot
+							// serve until promotion or the stall deadline.
+							proc.Sleep(cfg.Poll)
+							continue
+						}
 						batch = sh.popN(proc.Now(), cfg.BatchSize, batch[:0])
 						if len(batch) == 0 {
 							if st.closed {
@@ -569,7 +627,12 @@ func Serve(cfg Config) (*Result, error) {
 			p.Go(name, shard.Socket, func(ctx *platform.MemCtx) {
 				proc := ctx.Proc()
 				sc := newOpScratch(cfg)
+				fo := sh.fo
 				for runErr == nil {
+					if fo != nil && fo.blocked(proc.Now()) {
+						proc.Sleep(cfg.Poll)
+						continue
+					}
 					req, ok := sh.pop(proc.Now())
 					if !ok {
 						if st.closed {
@@ -596,6 +659,9 @@ func Serve(cfg Config) (*Result, error) {
 				}
 			})
 		}
+	}
+	if len(cfg.Faults) > 0 {
+		runFaultDriver(p, cfg, shards, st, &runErr)
 	}
 	// Timeline sampler: a read-only proc waking at the recorder's fixed
 	// sim-time interval over the measured window, snapshotting cumulative
@@ -645,6 +711,16 @@ func Serve(cfg Config) (*Result, error) {
 	}
 	res.OfferedRate = float64(res.Offered) / cfg.Duration.Seconds()
 	res.AchievedRate = float64(res.Completed) / cfg.Duration.Seconds()
+	if hasFaults {
+		res.Failover = make([]FailoverStats, len(st.shards))
+		for i := range st.shards {
+			if fo := st.shards[i].fo; fo != nil {
+				res.Failover[i] = fo.st
+			} else {
+				res.Failover[i] = FailoverStats{WindowLatency: stats.NewHistogram()}
+			}
+		}
+	}
 	return res, nil
 }
 
@@ -675,6 +751,11 @@ func newOpScratch(cfg Config) *opScratch {
 
 // record books one completed request at time end.
 func (st *serveState) record(sh *shardState, req request, end sim.Time) {
+	if fo := sh.fo; fo != nil && fo.inWindow {
+		if fo.noteCompletion(req, end, sh.occ.Len() == 0) {
+			st.event("caught-up", sh.idx, end)
+		}
+	}
 	if !req.measured {
 		return
 	}
@@ -759,7 +840,15 @@ func execute(ctx *platform.MemCtx, cfg Config, shard *Shard, worker int, req req
 	case OpPut:
 		ValInto(sc.val, req.key+1)
 		if shard.PutLog != nil {
-			return shard.PutLog.Append(ctx, worker, sc.key, sc.val)
+			if err := shard.PutLog.Append(ctx, worker, sc.key, sc.val); err != nil {
+				return err
+			}
+			if shard.Repl != nil {
+				// Synchronous replication: the PUT completes only after
+				// the shipment's fence retires on the standby's DIMMs.
+				return shard.Repl.Record(ctx, worker, sc.key, sc.val)
+			}
+			return nil
 		}
 		return shard.Backend.Put(ctx, sc.key, sc.val)
 	case OpDel:
@@ -783,12 +872,19 @@ func executeBatch(ctx *platform.MemCtx, cfg Config, shard *Shard, worker int, ba
 		bid = rec.NextBatch()
 		sc.edges = sc.edges[:0]
 	}
+	// Pin the log (and its replication mirror) for the whole group: a
+	// promotion swapping shard.PutLog mid-batch must not split one
+	// Begin/Add/Commit across two logs.
+	plog, repl := shard.PutLog, shard.Repl
 	logging := false
 	for i := range batch {
 		req := &batch[i]
-		if shard.PutLog != nil && req.op == OpPut {
+		if plog != nil && req.op == OpPut {
 			if !logging {
-				shard.PutLog.Begin(worker)
+				plog.Begin(worker)
+				if repl != nil {
+					repl.BatchBegin(worker)
+				}
 				logging = true
 			}
 			KeyInto(sc.key, req.key)
@@ -797,8 +893,13 @@ func executeBatch(ctx *platform.MemCtx, cfg Config, shard *Shard, worker int, ba
 			if rec != nil {
 				es = proc.Now()
 			}
-			if err := shard.PutLog.Add(ctx, worker, sc.key, sc.val); err != nil {
+			if err := plog.Add(ctx, worker, sc.key, sc.val); err != nil {
 				return err
+			}
+			if repl != nil {
+				if err := repl.BatchAdd(ctx, worker, sc.key, sc.val); err != nil {
+					return err
+				}
 			}
 			if rec != nil {
 				// Buffer the staging interval: the span closes at the
@@ -834,8 +935,16 @@ func executeBatch(ctx *platform.MemCtx, cfg Config, shard *Shard, worker int, ba
 		}
 	}
 	if logging {
-		if err := shard.PutLog.Commit(ctx, worker); err != nil {
+		if err := plog.Commit(ctx, worker); err != nil {
 			return err
+		}
+		if repl != nil {
+			// The group's shipment seals with its own single fence on the
+			// standby's DIMMs; every logged PUT in the batch completes
+			// after it, so acked means replicated.
+			if err := repl.BatchCommit(ctx, worker); err != nil {
+				return err
+			}
 		}
 		end := proc.Now()
 		ei := 0

@@ -135,6 +135,16 @@ type Sample struct {
 	Gauges []Gauge `json:"gauges,omitempty"`
 }
 
+// Event is one fault/failover/catch-up marker on the timeline: a named
+// instant attributed to a shard. TNS is sim time relative to the
+// measured window (negative for warmup events), matching Sample.TNS so
+// renderers can interleave markers with timeline intervals.
+type Event struct {
+	TNS   int64  `json:"t_ns"`
+	Name  string `json:"name"`
+	Shard int    `json:"shard"`
+}
+
 // slowEntry tracks one top-K candidate: the span plus its admission
 // sequence for deterministic tie-breaks.
 type slowEntry struct {
@@ -164,6 +174,7 @@ type Recorder struct {
 
 	probes  []func(add func(name string, v float64))
 	samples []Sample
+	events  []Event
 }
 
 // DefaultTopK is how many slowest ops a Recorder keeps when the caller
@@ -258,6 +269,17 @@ func (r *Recorder) RecordShed(tenant, shard int) {
 	r.sheds++
 }
 
+// RecordEvent books one fault/failover/catch-up marker at tNS (sim time
+// relative to the measured window, Sample.TNS's clock). Events are kept
+// in recording order — procs record them in sim-time order, so the
+// stream is deterministic.
+func (r *Recorder) RecordEvent(name string, shard int, tNS int64) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{TNS: tNS, Name: name, Shard: shard})
+}
+
 // AddProbe registers a gauge source the timeline sampler reads at every
 // sample instant. Probes must add the same gauge names on every call
 // (unconditionally), in a fixed order, so timeline columns are stable
@@ -330,5 +352,7 @@ func (r *Recorder) Finish(label string) *Run {
 	}
 	run.Samples = r.samples
 	r.samples = nil
+	run.Events = r.events
+	r.events = nil
 	return run
 }

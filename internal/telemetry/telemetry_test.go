@@ -103,6 +103,7 @@ func TestNilRecorderSafe(t *testing.T) {
 	s := span(0, sim.Nanosecond, 0, 0, 0)
 	r.RecordOp(&s)
 	r.RecordShed(0, 0)
+	r.RecordEvent("crash", 0, 100)
 	r.AddProbe(func(add func(string, float64)) { add("x", 1) })
 	r.Sample(Sample{})
 	if run := r.Finish(""); run != nil {
@@ -154,9 +155,14 @@ func TestJSONLRoundTrip(t *testing.T) {
 	s1.Op, s1.Tenant, s1.Shard, s1.CacheHit = "GET", 1, 2, 1
 	r.RecordOp(&s1)
 	r.RecordShed(0, 2)
+	r.RecordEvent("crash", 1, 500)
+	r.RecordEvent("promoted", 1, 800)
 	r.Sample(Sample{TNS: 1000, Offered: 3, Completed: 1, Dropped: 1,
 		Shards: []ShardSample{{Offered: 3, Completed: 1, QDepth: 2, QOccNS: 150}}})
 	run := r.Finish("offered=9000")
+	if want := []Event{{TNS: 500, Name: "crash", Shard: 1}, {TNS: 800, Name: "promoted", Shard: 1}}; !reflect.DeepEqual(run.Events, want) {
+		t.Fatalf("events = %+v, want %+v", run.Events, want)
+	}
 
 	in := []TraceEntry{{Scenario: "cluster/hotspot", Trial: 0, Trace: &Trace{Runs: []*Run{run}}}}
 	var buf bytes.Buffer

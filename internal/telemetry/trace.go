@@ -49,7 +49,10 @@ type Run struct {
 	Sheds   int64          `json:"sheds"`
 	Phases  []PhaseSummary `json:"phases"`
 	Slowest []SlowOp       `json:"slowest,omitempty"`
-	Samples []Sample       `json:"samples,omitempty"`
+	// Events are the run's fault/failover/catch-up markers, in sim-time
+	// order on the same clock as Samples.
+	Events  []Event  `json:"events,omitempty"`
+	Samples []Sample `json:"samples,omitempty"`
 }
 
 // Metrics writes the run's phase breakdown into a harness metric map as
@@ -109,6 +112,9 @@ type line struct {
 	// type=slow
 	Slow *SlowOp `json:"slow,omitempty"`
 
+	// type=event
+	Event *Event `json:"event,omitempty"`
+
 	// type=sample
 	Sample *Sample `json:"sample,omitempty"`
 }
@@ -149,6 +155,14 @@ func WriteJSONL(w io.Writer, entries []TraceEntry) error {
 				if err := enc.Encode(line{
 					Type: "slow", Scenario: e.Scenario, Trial: e.Trial, Label: run.Label,
 					Slow: &run.Slowest[i],
+				}); err != nil {
+					return err
+				}
+			}
+			for i := range run.Events {
+				if err := enc.Encode(line{
+					Type: "event", Scenario: e.Scenario, Trial: e.Trial, Label: run.Label,
+					Event: &run.Events[i],
 				}); err != nil {
 					return err
 				}
@@ -212,7 +226,7 @@ func ReadJSONL(r io.Reader) ([]TraceEntry, error) {
 			}
 			curKey = runKey
 			tr.Runs = append(tr.Runs, cur)
-		case "phase", "slow", "sample":
+		case "phase", "slow", "event", "sample":
 			if cur == nil || curKey != runKey {
 				return nil, fmt.Errorf("telemetry: %s line for unknown run %q", l.Type, l.Label)
 			}
@@ -224,6 +238,10 @@ func ReadJSONL(r io.Reader) ([]TraceEntry, error) {
 			case "slow":
 				if l.Slow != nil {
 					cur.Slowest = append(cur.Slowest, *l.Slow)
+				}
+			case "event":
+				if l.Event != nil {
+					cur.Events = append(cur.Events, *l.Event)
 				}
 			case "sample":
 				if l.Sample != nil {
