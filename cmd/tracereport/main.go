@@ -123,9 +123,10 @@ func renderRun(w io.Writer, title string, rn *telemetry.Run) {
 
 // renderTimeline differences one run's cumulative samples into per-interval
 // rates and prints them as CSV. Derived gauge columns appear only when the
-// run carries the gauges they need (cache runs get a hit-rate column,
-// group-commit runs a batch-fill column, and every socket with write
-// probes a windowed-EWR column).
+// run carries the gauges they need: cache runs get a hit-rate column,
+// group-commit runs a batch-fill column, every probed socket a summed
+// windowed-EWR column, and every active DIMM its own windowed EWR,
+// effective bandwidth (GB/s) and WPQ-stall-fraction columns.
 func renderTimeline(w io.Writer, title string, rn *telemetry.Run) {
 	if len(rn.Samples) == 0 {
 		return
@@ -143,12 +144,35 @@ func renderTimeline(w io.Writer, title string, rn *telemetry.Run) {
 	has := func(name string) bool { _, ok := gv(first, name); return ok }
 	hasCache := has("cache_hits")
 	hasBatch := has("pmem_batches")
-	var ewrSockets []int
+	// Per-DIMM device gauges: discover the probed geometry from the first
+	// sample, then restrict the per-DIMM columns to modules that actually
+	// moved controller bytes by the end of the run (the cumulative counters
+	// in the last sample — a measured result, so the column set is
+	// deterministic). The per-socket EWR columns are kept as the per-DIMM
+	// sums.
+	type dimmKey struct{ s, c int }
+	var dimms []dimmKey
+	nsock := 0
 	for s := 0; ; s++ {
-		if !has(fmt.Sprintf("xp_ctrl_write_bytes_s%d", s)) {
+		if !has(fmt.Sprintf("xp_ctrl_write_bytes_s%dc0", s)) {
 			break
 		}
-		ewrSockets = append(ewrSockets, s)
+		nsock = s + 1
+		for c := 0; ; c++ {
+			if !has(fmt.Sprintf("xp_ctrl_write_bytes_s%dc%d", s, c)) {
+				break
+			}
+			dimms = append(dimms, dimmKey{s, c})
+		}
+	}
+	last := rn.Samples[len(rn.Samples)-1]
+	var active []dimmKey
+	for _, d := range dimms {
+		r, _ := gv(last, fmt.Sprintf("xp_ctrl_read_bytes_s%dc%d", d.s, d.c))
+		w, _ := gv(last, fmt.Sprintf("xp_ctrl_write_bytes_s%dc%d", d.s, d.c))
+		if r+w > 0 {
+			active = append(active, d)
+		}
 	}
 
 	fmt.Fprintf(w, "# %s\n", title)
@@ -162,8 +186,14 @@ func renderTimeline(w io.Writer, title string, rn *telemetry.Run) {
 	if hasBatch {
 		cols = append(cols, "batch_fill", "fence_per_op")
 	}
-	for _, s := range ewrSockets {
+	for s := 0; s < nsock; s++ {
 		cols = append(cols, fmt.Sprintf("ewr_s%d", s))
+	}
+	for _, d := range active {
+		cols = append(cols,
+			fmt.Sprintf("ewr_s%dc%d", d.s, d.c),
+			fmt.Sprintf("bw_s%dc%d", d.s, d.c),
+			fmt.Sprintf("stall_s%dc%d", d.s, d.c))
 	}
 	hasEvents := len(rn.Events) > 0
 	if hasEvents {
@@ -227,10 +257,26 @@ func renderTimeline(w io.Writer, title string, rn *telemetry.Run) {
 				fmt.Sprintf("%.4g", ratio(dg("pmem_batch_ops"), dg("pmem_batches"))),
 				fmt.Sprintf("%.4g", ratio(dg("pmem_fences"), dDone)))
 		}
-		for _, sk := range ewrSockets {
-			ctrl := dg(fmt.Sprintf("xp_ctrl_write_bytes_s%d", sk))
-			media := dg(fmt.Sprintf("xp_media_write_bytes_s%d", sk))
+		for sk := 0; sk < nsock; sk++ {
+			var ctrl, media float64
+			for _, d := range dimms {
+				if d.s != sk {
+					continue
+				}
+				ctrl += dg(fmt.Sprintf("xp_ctrl_write_bytes_s%dc%d", d.s, d.c))
+				media += dg(fmt.Sprintf("xp_media_write_bytes_s%dc%d", d.s, d.c))
+			}
 			row = append(row, fmt.Sprintf("%.4g", ratio(ctrl, media)))
+		}
+		for _, d := range active {
+			ctrlR := dg(fmt.Sprintf("xp_ctrl_read_bytes_s%dc%d", d.s, d.c))
+			ctrlW := dg(fmt.Sprintf("xp_ctrl_write_bytes_s%dc%d", d.s, d.c))
+			media := dg(fmt.Sprintf("xp_media_write_bytes_s%dc%d", d.s, d.c))
+			stall := dg(fmt.Sprintf("xp_wpq_stall_ns_s%dc%d", d.s, d.c))
+			row = append(row,
+				fmt.Sprintf("%.4g", ratio(ctrlW, media)),
+				fmt.Sprintf("%.4g", (ctrlR+ctrlW)/dtNS),
+				fmt.Sprintf("%.4g", stall/dtNS))
 		}
 		if hasEvents {
 			// Every not-yet-emitted marker up to this sample instant lands

@@ -1,0 +1,166 @@
+// Command xpstat renders an optanestudy-trace/v1 JSONL stream (the -trace
+// output of the bench CLIs) as a per-DIMM utilization table over time —
+// the simulator's answer to `ipmctl show -performance`. For every run in
+// the stream it differences the timeline's cumulative per-DIMM device
+// gauges into per-interval rates: effective bandwidth, windowed EWR,
+// XPBuffer hit rate, media write bandwidth and WPQ stall fraction, one row
+// per active DIMM per interval.
+//
+// Everything rendered derives from the trace's sim-time samples, so the
+// output is byte-identical at any -parallel width of the producing run.
+//
+// Usage:
+//
+//	xpstat trace.jsonl
+//	xpstat -every 4 trace.jsonl
+//	clusterbench -trace=/dev/stdout cluster/hotspot | xpstat -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"optanestudy/internal/telemetry"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xpstat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "xpstat: per-DIMM utilization over time from an %s stream\n\n", telemetry.TraceSchema)
+		fmt.Fprintf(stderr, "usage: xpstat [flags] <trace.jsonl | ->\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	every := fs.Int("every", 1, "render every Nth timeline interval")
+	if err := fs.Parse(argv); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 1 || *every < 1 {
+		fs.Usage()
+		return 2
+	}
+	var in io.Reader = os.Stdin
+	if path := fs.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "xpstat: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	}
+	entries, err := telemetry.ReadJSONL(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "xpstat: %v\n", err)
+		return 1
+	}
+	for _, e := range entries {
+		for _, rn := range e.Trace.Runs {
+			title := fmt.Sprintf("%s trial %d", e.Scenario, e.Trial)
+			if rn.Label != "" {
+				title += " [" + rn.Label + "]"
+			}
+			renderRun(stdout, title, rn, *every)
+		}
+	}
+	return 0
+}
+
+type dimmKey struct{ s, c int }
+
+// renderRun prints one run's per-DIMM utilization rows, one per active
+// DIMM per rendered interval. DIMM activity is decided from the final
+// sample's cumulative controller bytes — a measured result, so the row
+// set is deterministic.
+func renderRun(w io.Writer, title string, rn *telemetry.Run, every int) {
+	if len(rn.Samples) == 0 {
+		return
+	}
+	gv := func(s telemetry.Sample, name string) (float64, bool) {
+		for _, g := range s.Gauges {
+			if g.Name == name {
+				return g.Value, true
+			}
+		}
+		return 0, false
+	}
+	first := rn.Samples[0]
+	has := func(name string) bool { _, ok := gv(first, name); return ok }
+	var dimms []dimmKey
+	for s := 0; ; s++ {
+		if !has(fmt.Sprintf("xp_ctrl_write_bytes_s%dc0", s)) {
+			break
+		}
+		for c := 0; ; c++ {
+			if !has(fmt.Sprintf("xp_ctrl_write_bytes_s%dc%d", s, c)) {
+				break
+			}
+			dimms = append(dimms, dimmKey{s, c})
+		}
+	}
+	if len(dimms) == 0 {
+		fmt.Fprintf(w, "== %s: no per-DIMM device gauges in trace\n\n", title)
+		return
+	}
+	last := rn.Samples[len(rn.Samples)-1]
+	var active []dimmKey
+	for _, d := range dimms {
+		r, _ := gv(last, fmt.Sprintf("xp_ctrl_read_bytes_s%dc%d", d.s, d.c))
+		wr, _ := gv(last, fmt.Sprintf("xp_ctrl_write_bytes_s%dc%d", d.s, d.c))
+		if r+wr > 0 {
+			active = append(active, d)
+		}
+	}
+	fmt.Fprintf(w, "== %s  samples=%d dimms=%d active=%d\n", title, len(rn.Samples), len(dimms), len(active))
+	if len(active) == 0 {
+		fmt.Fprintln(w)
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "t_us\tdimm\tbw_gbs\twr_gbs\tmedia_wr_gbs\tewr\thit_rate\tstall")
+	ratio := func(num, den float64) float64 {
+		if den == 0 {
+			return 0
+		}
+		return num / den
+	}
+	prev := telemetry.Sample{} // window opens at t=0 with zero counters
+	for i, s := range rn.Samples {
+		dtNS := float64(s.TNS - prev.TNS)
+		if dtNS <= 0 {
+			prev = s
+			continue
+		}
+		if i%every == 0 {
+			dg := func(name string) float64 {
+				cur, _ := gv(s, name)
+				old, _ := gv(prev, name)
+				return cur - old
+			}
+			for _, d := range active {
+				suffix := fmt.Sprintf("_s%dc%d", d.s, d.c)
+				ctrlR := dg("xp_ctrl_read_bytes" + suffix)
+				ctrlW := dg("xp_ctrl_write_bytes" + suffix)
+				mediaW := dg("xp_media_write_bytes" + suffix)
+				hits := dg("xp_buffer_hits" + suffix)
+				misses := dg("xp_buffer_misses" + suffix)
+				stall := dg("xp_wpq_stall_ns" + suffix)
+				fmt.Fprintf(tw, "%.3f\ts%dc%d\t%.4g\t%.4g\t%.4g\t%.4g\t%.4g\t%.4g\n",
+					float64(s.TNS)/1e3, d.s, d.c,
+					(ctrlR+ctrlW)/dtNS, ctrlW/dtNS, mediaW/dtNS,
+					ratio(ctrlW, mediaW), ratio(hits, hits+misses), stall/dtNS)
+			}
+		}
+		prev = s
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}

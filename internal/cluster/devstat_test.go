@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"optanestudy/internal/harness"
+	"optanestudy/internal/sim"
+)
+
+func devstatSpec() harness.Spec {
+	return harness.Spec{
+		Scenario: "cluster/failover/point",
+		Duration: 200 * sim.Microsecond,
+		Params:   map[string]string{"devstat": "1"},
+	}
+}
+
+// With devstat on, the failover scenario must expose the per-DIMM device
+// health metrics plus the per-shard attributed groups, and the whole
+// metric map must be byte-identical at any -parallel width.
+func TestFailoverDevstatMetrics(t *testing.T) {
+	srs := harness.RunSpecs([]harness.Spec{devstatSpec()}, 1)
+	if srs[0].Err != nil {
+		t.Fatal(srs[0].Err)
+	}
+	m := srs[0].Result.Trials[0].Metrics
+	// At least one per-DIMM block: the primary shard serves on socket 0.
+	for _, key := range []string{
+		"dev_ewr_s0c0", "dev_wpq_stall_frac_s0c0", "dev_buffer_hit_rate_s0c0",
+		"dev_bw_gbs_s0c0", "dev_early_close_rate_s0c0",
+		"dev_ewr_shard0", "dev_upi_rd_bytes_s0", "dev_upi_wr_bytes_s1",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("devstat failover run missing metric %q", key)
+		}
+	}
+	if ewr := m["dev_ewr_shard0"]; ewr <= 0 || ewr > 1.5 {
+		t.Errorf("dev_ewr_shard0 = %g, want a plausible EWR", ewr)
+	}
+	if bw := m["dev_bw_gbs_s0c0"]; bw <= 0 {
+		t.Errorf("dev_bw_gbs_s0c0 = %g, want > 0", bw)
+	}
+}
+
+// Without the devstat param the metric map must not change: no dev_* keys
+// may appear, keeping the results-neutrality baseline intact.
+func TestFailoverDevstatGatedOff(t *testing.T) {
+	spec := devstatSpec()
+	spec.Params = nil
+	srs := harness.RunSpecs([]harness.Spec{spec}, 1)
+	if srs[0].Err != nil {
+		t.Fatal(srs[0].Err)
+	}
+	for k := range srs[0].Result.Trials[0].Metrics {
+		if len(k) >= 4 && k[:4] == "dev_" {
+			t.Errorf("devstat-off run leaked device metric %q", k)
+		}
+	}
+}
+
+// The devstat capture proc rides inside the deterministic engine, so the
+// full metric map (per-DIMM keys included) is identical serial vs parallel.
+func TestFailoverDevstatParallelByteIdentical(t *testing.T) {
+	render := func(parallel int) string {
+		srs := harness.RunSpecs([]harness.Spec{devstatSpec()}, parallel)
+		if srs[0].Err != nil {
+			t.Fatal(srs[0].Err)
+		}
+		return fmt.Sprintf("%v", srs[0].Result.Trials[0].Metrics)
+	}
+	serial := harness.RunSpecs([]harness.Spec{devstatSpec()}, 1)
+	wide := harness.RunSpecs([]harness.Spec{devstatSpec()}, 8)
+	if serial[0].Err != nil || wide[0].Err != nil {
+		t.Fatal(serial[0].Err, wide[0].Err)
+	}
+	if !reflect.DeepEqual(serial[0].Result.Trials[0].Metrics, wide[0].Result.Trials[0].Metrics) {
+		t.Errorf("devstat metrics differ serial vs parallel:\n%s\nvs\n%s", render(1), render(8))
+	}
+}

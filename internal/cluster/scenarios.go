@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"optanestudy/internal/devstat"
 	"optanestudy/internal/fault"
 	"optanestudy/internal/harness"
 	"optanestudy/internal/platform"
@@ -249,6 +250,7 @@ func runClusterPoint(spec harness.Spec) (harness.Trial, error) {
 	evict := r.Str("evict", "clock")
 	tierKind := r.Str("tier", "")
 	llcKB := r.Int64("llckb", 0)
+	devOn := r.Bool("devstat", false)
 	if err := r.Err(); err != nil {
 		return harness.Trial{}, err
 	}
@@ -421,7 +423,7 @@ func runClusterPoint(spec harness.Spec) (harness.Trial, error) {
 				c.Gauges(add)
 			})
 		}
-		service.AddEWRProbe(rec, p)
+		service.AddDeviceProbes(rec, p)
 		if cacheBytes > 0 {
 			rec.AddProbe(func(add func(string, float64)) { cl.CacheCounters().Gauges(add) })
 			cacheStats = func() (int64, int64) {
@@ -429,6 +431,12 @@ func runClusterPoint(spec harness.Spec) (harness.Trial, error) {
 				return c.Hits, c.Misses
 			}
 		}
+	}
+	// The devstat watcher captures device-counter snapshots at the measured
+	// window's boundaries on its own read-only proc; see runPoint.
+	var dw *devstat.Watcher
+	if devOn {
+		dw = devstat.Watch(p, spec.Socket, spec.Warmup, spec.Duration)
 	}
 	res, err := service.Serve(service.Config{
 		Platform: p, Socket: spec.Socket,
@@ -501,6 +509,18 @@ func runClusterPoint(spec harness.Spec) (harness.Trial, error) {
 	// (cache-less runs stay byte-stable).
 	harness.GateMetrics(m, cacheBytes > 0, func(m map[string]float64) {
 		cl.CacheCounters().Metrics(m)
+	})
+	// Device-health readout, gated on the devstat param (absent ⇒ zero
+	// dev_* keys, so pre-existing scenario output stays byte-identical):
+	// per-DIMM health metrics plus per-shard attribution through the
+	// placement's (socket, channel-set) — the namespace→DIMM-set mapping
+	// the cluster pinned when it carved each shard's backend.
+	harness.GateMetrics(m, dw != nil, func(m map[string]float64) {
+		w := dw.Window()
+		w.Metrics(m)
+		for i, sp := range cl.Placement.Shards {
+			w.GroupMetrics(m, fmt.Sprintf("shard%d", i), sp.DataSocket, sp.Channels)
+		}
 	})
 	// Replication shipping/replay readout, gated on the pairs existing
 	// (unreplicated runs stay byte-stable).

@@ -1,0 +1,281 @@
+// Package devstat is the device-level observability layer: window-scoped
+// snapshots of every 3D XPoint DIMM's hardware counters (plus per-channel
+// WPQ occupancy/stall accounting and per-socket UPI crossing bytes),
+// differenced into per-device deltas and derived health metrics — EWR,
+// write amplification, buffer hit rate, early-close rate, partial-write
+// fraction, remap rate, WPQ stall fraction and effective bandwidth.
+//
+// This is the paper's measurement methodology turned into an operator
+// surface: every figure in the study is driven by exactly these counters
+// (ipmctl/PCM expose them on real hardware), and the resharding and
+// hybrid-media roadmap items need them as control signals. Everything a
+// snapshot reads is cumulative and derived from sim time, so devstat
+// output is byte-identical at any -parallel width.
+package devstat
+
+import (
+	"fmt"
+
+	"optanestudy/internal/dimm"
+	"optanestudy/internal/mem"
+	"optanestudy/internal/platform"
+	"optanestudy/internal/sim"
+)
+
+// DIMMState is one 3D XPoint module's cumulative state at a snapshot
+// instant: its hardware counters plus the iMC-side WPQ accounting for its
+// channel slot.
+type DIMMState struct {
+	Socket, Channel int
+	Ctr             dimm.Counters
+	// WPQOcc is the WPQ's cumulative entry-residency (entry·time);
+	// WPQStall is the cumulative admission-stall time posts spent blocked
+	// on a full queue.
+	WPQOcc, WPQStall sim.Time
+}
+
+// UPIState is one socket home agent's cumulative remote-crossing bytes.
+type UPIState struct {
+	ReadBytes, WriteBytes int64
+}
+
+// Snapshot captures every XP DIMM, channel WPQ and home agent at one
+// instant. DIMMs are ordered socket-major, channel-minor — a fixed
+// geometry order, so differencing and rendering are deterministic.
+type Snapshot struct {
+	T     sim.Time
+	DIMMs []DIMMState
+	UPI   []UPIState
+}
+
+// Capture snapshots the platform's device counters at the current sim
+// time. It is read-only: capturing never perturbs results.
+func Capture(p *platform.Platform) Snapshot {
+	geom := p.Config().Geometry
+	s := Snapshot{
+		T:     p.Now(),
+		DIMMs: make([]DIMMState, 0, geom.Sockets*geom.ChannelsPerSocket),
+		UPI:   make([]UPIState, geom.Sockets),
+	}
+	for sk := 0; sk < geom.Sockets; sk++ {
+		for ch := 0; ch < geom.ChannelsPerSocket; ch++ {
+			occ, stall := p.XPWPQStats(sk, ch)
+			s.DIMMs = append(s.DIMMs, DIMMState{
+				Socket: sk, Channel: ch,
+				Ctr:    p.XPDIMMCounters(sk, ch),
+				WPQOcc: occ, WPQStall: stall,
+			})
+		}
+		rd, wr := p.UPIBytes(sk)
+		s.UPI[sk] = UPIState{ReadBytes: rd, WriteBytes: wr}
+	}
+	return s
+}
+
+// DIMMWindow is one DIMM's delta over a measurement window plus the
+// window length, from which every health metric derives.
+type DIMMWindow struct {
+	Socket, Channel  int
+	Ctr              dimm.Counters
+	WPQOcc, WPQStall sim.Time
+	Elapsed          sim.Time
+}
+
+// Active reports whether the DIMM moved any controller-interface bytes in
+// the window. Inactive DIMMs are skipped by Metrics so a two-channel
+// namespace does not emit ten all-zero metric blocks.
+func (w *DIMMWindow) Active() bool {
+	return w.Ctr.CtrlReadBytes+w.Ctr.CtrlWriteBytes > 0
+}
+
+// EWR is the window's Effective Write Ratio (iMC write bytes over media
+// write bytes; 1 when the media wrote nothing).
+func (w *DIMMWindow) EWR() float64 { return w.Ctr.EWR() }
+
+// WriteAmplification is the inverse of EWR.
+func (w *DIMMWindow) WriteAmplification() float64 { return w.Ctr.WriteAmplification() }
+
+// BufferHitRate is the XPBuffer hit fraction over the window (0 with no
+// buffer lookups).
+func (w *DIMMWindow) BufferHitRate() float64 {
+	total := w.Ctr.BufferHits + w.Ctr.BufferMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(w.Ctr.BufferHits) / float64(total)
+}
+
+// mediaWriteLines is the number of XPLines the media wrote in the window.
+func (w *DIMMWindow) mediaWriteLines() int64 {
+	return w.Ctr.MediaWriteBytes / mem.XPLine
+}
+
+// EarlyCloseRate is early-closed lines per media-written XPLine: how often
+// write-stream pressure forced a partial line out of the XPBuffer before
+// it filled (the threads-per-DIMM contention signature).
+func (w *DIMMWindow) EarlyCloseRate() float64 {
+	if lines := w.mediaWriteLines(); lines > 0 {
+		return float64(w.Ctr.EarlyCloses) / float64(lines)
+	}
+	return 0
+}
+
+// PartialWriteFrac is the fraction of media-written XPLines that carried
+// under one line of new data (each one paid a read-modify-write).
+func (w *DIMMWindow) PartialWriteFrac() float64 {
+	if lines := w.mediaWriteLines(); lines > 0 {
+		return float64(w.Ctr.PartialWrites) / float64(lines)
+	}
+	return 0
+}
+
+// RemapRate is wear-leveling migrations per media-written XPLine.
+func (w *DIMMWindow) RemapRate() float64 {
+	if lines := w.mediaWriteLines(); lines > 0 {
+		return float64(w.Ctr.Remaps) / float64(lines)
+	}
+	return 0
+}
+
+// WPQStallFrac is cumulative admission-stall time over the window length:
+// the fraction of the window a posting store spent blocked on a full WPQ
+// (it can exceed 1 when several threads stall concurrently).
+func (w *DIMMWindow) WPQStallFrac() float64 {
+	if w.Elapsed <= 0 {
+		return 0
+	}
+	return float64(w.WPQStall) / float64(w.Elapsed)
+}
+
+// BandwidthGBs is the DIMM's effective controller-interface bandwidth over
+// the window (read + write bytes per second, in GB/s).
+func (w *DIMMWindow) BandwidthGBs() float64 {
+	if w.Elapsed <= 0 {
+		return 0
+	}
+	bytes := float64(w.Ctr.CtrlReadBytes + w.Ctr.CtrlWriteBytes)
+	return bytes / w.Elapsed.Nanoseconds()
+}
+
+// Window is the delta between two snapshots: per-DIMM and per-socket
+// deltas plus the elapsed window.
+type Window struct {
+	Elapsed sim.Time
+	DIMMs   []DIMMWindow
+	UPI     []UPIState
+}
+
+// Sub returns the window from o (earlier) to s (later), differencing every
+// counter via dimm.Counters.Sub. The snapshots must come from the same
+// platform (same geometry order).
+func (s Snapshot) Sub(o Snapshot) Window {
+	w := Window{Elapsed: s.T - o.T, DIMMs: make([]DIMMWindow, len(s.DIMMs)), UPI: make([]UPIState, len(s.UPI))}
+	for i := range s.DIMMs {
+		a, b := &s.DIMMs[i], &o.DIMMs[i]
+		w.DIMMs[i] = DIMMWindow{
+			Socket: a.Socket, Channel: a.Channel,
+			Ctr:    a.Ctr.Sub(b.Ctr),
+			WPQOcc: a.WPQOcc - b.WPQOcc, WPQStall: a.WPQStall - b.WPQStall,
+			Elapsed: s.T - o.T,
+		}
+	}
+	for i := range s.UPI {
+		w.UPI[i] = UPIState{
+			ReadBytes:  s.UPI[i].ReadBytes - o.UPI[i].ReadBytes,
+			WriteBytes: s.UPI[i].WriteBytes - o.UPI[i].WriteBytes,
+		}
+	}
+	return w
+}
+
+// Group sums the window deltas of one DIMM subset — a shard or backend's
+// (socket, channel-set) placement, the namespace→DIMM-set attribution the
+// cluster's BackendSpec pins. Counters are per-DIMM, so namespaces sharing
+// a DIMM both see its traffic.
+func (w Window) Group(socket int, channels []int) DIMMWindow {
+	g := DIMMWindow{Socket: socket, Channel: -1, Elapsed: w.Elapsed}
+	for i := range w.DIMMs {
+		d := &w.DIMMs[i]
+		if d.Socket != socket {
+			continue
+		}
+		for _, ch := range channels {
+			if d.Channel == ch {
+				g.Ctr.Add(d.Ctr)
+				g.WPQOcc += d.WPQOcc
+				g.WPQStall += d.WPQStall
+				break
+			}
+		}
+	}
+	return g
+}
+
+// metricsInto writes one DIMM (or group) window's derived health metrics
+// under dev_<metric><suffix> keys.
+func (w *DIMMWindow) metricsInto(m map[string]float64, suffix string) {
+	m["dev_ewr"+suffix] = w.EWR()
+	m["dev_wamp"+suffix] = w.WriteAmplification()
+	m["dev_buffer_hit_rate"+suffix] = w.BufferHitRate()
+	m["dev_early_close_rate"+suffix] = w.EarlyCloseRate()
+	m["dev_partial_write_frac"+suffix] = w.PartialWriteFrac()
+	m["dev_remap_rate"+suffix] = w.RemapRate()
+	m["dev_wpq_stall_frac"+suffix] = w.WPQStallFrac()
+	m["dev_bw_gbs"+suffix] = w.BandwidthGBs()
+}
+
+// Metrics writes the window's per-DIMM health metrics (active DIMMs only,
+// keyed dev_<metric>_s<socket>c<channel>) plus the per-socket UPI crossing
+// bytes into a harness metric map. Activity depends only on the measured
+// deltas — never on the schedule — so the key set is deterministic.
+func (w Window) Metrics(m map[string]float64) {
+	for i := range w.DIMMs {
+		d := &w.DIMMs[i]
+		if !d.Active() {
+			continue
+		}
+		d.metricsInto(m, fmt.Sprintf("_s%dc%d", d.Socket, d.Channel))
+	}
+	for s := range w.UPI {
+		m[fmt.Sprintf("dev_upi_rd_bytes_s%d", s)] = float64(w.UPI[s].ReadBytes)
+		m[fmt.Sprintf("dev_upi_wr_bytes_s%d", s)] = float64(w.UPI[s].WriteBytes)
+	}
+}
+
+// GroupMetrics writes one attributed group's derived metrics under
+// dev_<metric>_<name> keys (e.g. dev_ewr_shard0) when the group moved any
+// bytes in the window.
+func (w Window) GroupMetrics(m map[string]float64, name string, socket int, channels []int) {
+	g := w.Group(socket, channels)
+	if !g.Active() {
+		return
+	}
+	g.metricsInto(m, "_"+name)
+}
+
+// Watcher captures the opening and closing snapshots of one measurement
+// window on a dedicated read-only proc, so any scenario can bolt
+// device-counter windows onto a run without the serving layer knowing.
+type Watcher struct {
+	open, close Snapshot
+}
+
+// Watch spawns the capture proc: the opening snapshot fires warmup after
+// the platform's current time (the measured window's open) and the closing
+// one duration later (its close). Call Window after the platform has run.
+func Watch(p *platform.Platform, socket int, warmup, duration sim.Time) *Watcher {
+	w := &Watcher{}
+	openAt := p.Now() + warmup
+	closeAt := openAt + duration
+	p.Go("devstat-snap", socket, func(ctx *platform.MemCtx) {
+		proc := ctx.Proc()
+		proc.AdvanceTo(openAt)
+		w.open = Capture(p)
+		proc.AdvanceTo(closeAt)
+		w.close = Capture(p)
+	})
+	return w
+}
+
+// Window returns the captured measurement window's deltas.
+func (w *Watcher) Window() Window { return w.close.Sub(w.open) }

@@ -1,0 +1,151 @@
+package devstat_test
+
+import (
+	"testing"
+
+	"optanestudy/internal/devstat"
+	"optanestudy/internal/platform"
+	"optanestudy/internal/sim"
+)
+
+func newPlatform(t *testing.T) *platform.Platform {
+	t.Helper()
+	cfg := platform.DefaultConfig()
+	cfg.XP.Wear.Enabled = false
+	p, err := platform.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// window runs fn as simulated threads on socket 0 and returns the
+// device-counter window covering the whole run.
+func window(t *testing.T, p *platform.Platform, threads int, fn func(ctx *platform.MemCtx, id int)) devstat.Window {
+	t.Helper()
+	open := devstat.Capture(p)
+	for k := 0; k < threads; k++ {
+		id := k
+		p.Go("w", 0, func(ctx *platform.MemCtx) { fn(ctx, id) })
+	}
+	p.Run()
+	return devstat.Capture(p).Sub(open)
+}
+
+// dimm0 returns the s0c0 window (the DIMM a non-interleaved channel-0
+// namespace lives on).
+func dimm0(t *testing.T, w devstat.Window) devstat.DIMMWindow {
+	t.Helper()
+	for i := range w.DIMMs {
+		if w.DIMMs[i].Socket == 0 && w.DIMMs[i].Channel == 0 {
+			return w.DIMMs[i]
+		}
+	}
+	t.Fatal("no s0c0 DIMM in window")
+	return devstat.DIMMWindow{}
+}
+
+// Sequential 256 B streams assemble full XPLines in the XPBuffer, so the
+// controller never pays a read-modify-write: windowed EWR sits at ~1.0
+// (Section 4.3's best case).
+func TestEWRSequentialStream(t *testing.T) {
+	p := newPlatform(t)
+	ns, err := p.OptaneNI("pm", 0, 0, 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := window(t, p, 1, func(ctx *platform.MemCtx, _ int) {
+		for i := int64(0); i < 8192; i++ {
+			ctx.NTStore(ns, i*256, 256, nil)
+			if i%16 == 15 {
+				ctx.SFence()
+			}
+		}
+		ctx.SFence()
+	})
+	d := dimm0(t, w)
+	if !d.Active() {
+		t.Fatal("s0c0 saw no traffic")
+	}
+	if ewr := d.EWR(); ewr < 0.95 || ewr > 1.05 {
+		t.Errorf("sequential 256 B stream EWR = %.3f, want ~1.0", ewr)
+	}
+	if frac := d.PartialWriteFrac(); frac > 0.05 {
+		t.Errorf("sequential stream partial-write fraction = %.3f, want ~0", frac)
+	}
+}
+
+// Small random writes over a working set far beyond the 16 KB XPBuffer
+// force partial-line evictions: each 64 B write turns into a 256 B
+// read-modify-write and EWR collapses toward 0.25 (Figure 10's regime).
+func TestEWRRandomSmallWrites(t *testing.T) {
+	p := newPlatform(t)
+	ns, err := p.OptaneNI("pm", 0, 0, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(3)
+	w := window(t, p, 1, func(ctx *platform.MemCtx, _ int) {
+		for i := 0; i < 8000; i++ {
+			ctx.NTStore(ns, rng.Int63n(ns.Size)&^63, 64, nil)
+			if i%8 == 7 {
+				ctx.SFence()
+			}
+		}
+		ctx.SFence()
+	})
+	d := dimm0(t, w)
+	if !d.Active() {
+		t.Fatal("s0c0 saw no traffic")
+	}
+	if ewr := d.EWR(); ewr >= 0.8 {
+		t.Errorf("random 64 B write EWR = %.3f, want < 0.8", ewr)
+	}
+	if frac := d.PartialWriteFrac(); frac < 0.5 {
+		t.Errorf("random 64 B partial-write fraction = %.3f, want > 0.5", frac)
+	}
+	if hr := d.BufferHitRate(); hr > 0.5 {
+		t.Errorf("random 64 B buffer hit rate = %.3f, want < 0.5 over a >16 KB working set", hr)
+	}
+}
+
+// earlyCloseRate measures s0c0's early-close rate with n concurrent
+// sequential 64 B write streams into disjoint regions of one DIMM.
+func earlyCloseRate(t *testing.T, n int) float64 {
+	t.Helper()
+	p := newPlatform(t)
+	ns, err := p.OptaneNI("pm", 0, 0, 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stride := ns.Size / int64(n)
+	w := window(t, p, n, func(ctx *platform.MemCtx, id int) {
+		base := int64(id) * stride
+		for i := int64(0); i < 4000; i++ {
+			ctx.NTStore(ns, base+i*64, 64, nil)
+			if i%64 == 63 {
+				ctx.SFence()
+			}
+		}
+		ctx.SFence()
+	})
+	d := dimm0(t, w)
+	if !d.Active() {
+		t.Fatal("s0c0 saw no traffic")
+	}
+	return d.EarlyCloseRate()
+}
+
+// More concurrent write streams than the controller's combining engines
+// must drive the early-close rate up — the Section 5.3 contention
+// signature the dev_early_close_rate metric exists to surface.
+func TestEarlyCloseRateRisesWithStreams(t *testing.T) {
+	one := earlyCloseRate(t, 1)
+	eight := earlyCloseRate(t, 8)
+	if one > 0.01 {
+		t.Errorf("single-stream early-close rate = %.4f, want ~0", one)
+	}
+	if eight <= one || eight < 0.01 {
+		t.Errorf("early-close rate did not rise with streams: 1 stream = %.4f, 8 streams = %.4f", one, eight)
+	}
+}

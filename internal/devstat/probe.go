@@ -1,0 +1,42 @@
+package devstat
+
+import (
+	"fmt"
+
+	"optanestudy/internal/platform"
+	"optanestudy/internal/telemetry"
+)
+
+// AddProbes registers the full per-DIMM gauge set with a timeline
+// recorder: for every 3D XPoint DIMM, cumulative controller read/write
+// bytes, media write bytes, XPBuffer hits/misses and WPQ stall time. A
+// renderer differences successive samples into per-DIMM windowed EWR,
+// effective bandwidth, buffer hit rate and stall fraction — the paper's
+// device signals as time series (this replaces the earlier two-gauge
+// per-socket EWR probe; per-socket values are the per-DIMM sums).
+// Every DIMM is probed unconditionally so timeline columns stay stable
+// across samples.
+func AddProbes(rec *telemetry.Recorder, p *platform.Platform) {
+	geom := p.Config().Geometry
+	for s := 0; s < geom.Sockets; s++ {
+		for c := 0; c < geom.ChannelsPerSocket; c++ {
+			s, c := s, c
+			ctrlR := fmt.Sprintf("xp_ctrl_read_bytes_s%dc%d", s, c)
+			ctrlW := fmt.Sprintf("xp_ctrl_write_bytes_s%dc%d", s, c)
+			mediaW := fmt.Sprintf("xp_media_write_bytes_s%dc%d", s, c)
+			hits := fmt.Sprintf("xp_buffer_hits_s%dc%d", s, c)
+			misses := fmt.Sprintf("xp_buffer_misses_s%dc%d", s, c)
+			stall := fmt.Sprintf("xp_wpq_stall_ns_s%dc%d", s, c)
+			rec.AddProbe(func(add func(string, float64)) {
+				ctr := p.XPDIMMCounters(s, c)
+				_, st := p.XPWPQStats(s, c)
+				add(ctrlR, float64(ctr.CtrlReadBytes))
+				add(ctrlW, float64(ctr.CtrlWriteBytes))
+				add(mediaW, float64(ctr.MediaWriteBytes))
+				add(hits, float64(ctr.BufferHits))
+				add(misses, float64(ctr.BufferMisses))
+				add(stall, st.Nanoseconds())
+			})
+		}
+	}
+}

@@ -105,8 +105,10 @@ func (c *Counters) Add(o Counters) {
 	c.Remaps += o.Remaps
 }
 
-// String summarizes the counters.
+// String summarizes the counters, including the XPBuffer dynamics
+// (hits/misses, partial writes, early closes) that drive the EWR.
 func (c *Counters) String() string {
-	return fmt.Sprintf("ctrlR=%d ctrlW=%d mediaR=%d mediaW=%d EWR=%.3f remaps=%d",
-		c.CtrlReadBytes, c.CtrlWriteBytes, c.MediaReadBytes, c.MediaWriteBytes, c.EWR(), c.Remaps)
+	return fmt.Sprintf("ctrlR=%d ctrlW=%d mediaR=%d mediaW=%d EWR=%.3f hits=%d misses=%d partial=%d earlyClose=%d remaps=%d",
+		c.CtrlReadBytes, c.CtrlWriteBytes, c.MediaReadBytes, c.MediaWriteBytes, c.EWR(),
+		c.BufferHits, c.BufferMisses, c.PartialWrites, c.EarlyCloses, c.Remaps)
 }

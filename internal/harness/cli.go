@@ -83,6 +83,7 @@ func CLIMain(argv []string, opts CLIOptions) int {
 	faultKind := fs.String("fault", "", "fault to inject in cluster failover scenarios: crash, stall, socket or churn (empty = scenario default; shorthand for -p fault=K)")
 	detectNS := fs.Float64("detect", -1, "crash-detection delay in ns before promotion starts (negative = scenario default; shorthand for -p detect=NS)")
 	replicate := fs.Bool("replicate", false, "pair every shard with a standby replica on the next socket (shorthand for -p replicate=1)")
+	devstat := fs.Bool("devstat", false, "emit per-DIMM dev_* device-health metrics over the measured window (shorthand for -p devstat=1)")
 	tracePath := fs.String("trace", "", "write per-op phase spans and timeline samples as an optanestudy-trace/v1 JSONL stream to this file (tracing is off when empty; results are unchanged either way)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -150,6 +151,9 @@ func CLIMain(argv []string, opts CLIOptions) int {
 	}
 	if *replicate {
 		params["replicate"] = "1"
+	}
+	if *devstat {
+		params["devstat"] = "1"
 	}
 
 	globs := fs.Args()

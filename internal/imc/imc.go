@@ -44,6 +44,7 @@ type Channel struct {
 type wpqState struct {
 	q         *sim.BoundedQueue
 	lastDrain sim.Time
+	stall     sim.Time
 }
 
 // NewChannel returns a channel with the given configuration.
@@ -79,6 +80,7 @@ func (c *Channel) Read(t sim.Time, d dimm.DIMM, addr int64) sim.Time {
 func (c *Channel) PostWrite(t sim.Time, d dimm.DIMM, addr int64) (accepted, drained sim.Time) {
 	w := c.wpq(d)
 	accepted = w.q.Admit(t)
+	w.stall += accepted - t
 	_, busEnd := c.bus.Acquire(accepted, c.cfg.BusTime)
 	drained = d.WriteLine(busEnd, addr)
 	if drained < w.lastDrain {
@@ -100,6 +102,14 @@ func (c *Channel) WPQOccupancy(t sim.Time, d dimm.DIMM) int {
 // fill fraction).
 func (c *Channel) WPQOccupancyTime(d dimm.DIMM) sim.Time {
 	return c.wpq(d).q.OccupancyTime()
+}
+
+// WPQStallTime reports a DIMM's cumulative admission-stall time: how long
+// posting stores sat blocked on a full WPQ before acceptance (the
+// persistence point). A rising stall fraction is the earliest signal of a
+// write-saturated DIMM — it appears before end-to-end latency moves.
+func (c *Channel) WPQStallTime(d dimm.DIMM) sim.Time {
+	return c.wpq(d).stall
 }
 
 // Posts returns the number of writes posted on this channel.

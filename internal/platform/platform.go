@@ -233,6 +233,32 @@ func (p *Platform) XPCounters(socket int) dimm.Counters {
 	return total
 }
 
+// XPDIMMCounters snapshots the 3D XPoint DIMM counters on one
+// (socket, channel) slot — the per-device readout the devstat layer
+// attributes windows and health metrics from.
+func (p *Platform) XPDIMMCounters(socket, channel int) dimm.Counters {
+	return *p.xps[socket][channel].Counters()
+}
+
+// XPWPQStats reports the channel's WPQ accounting for its 3D XPoint DIMM:
+// cumulative entry-residency (occupancy integral) and cumulative
+// admission-stall time. Both are monotone cumulative values; successive
+// snapshots difference into per-window utilization and stall fractions.
+func (p *Platform) XPWPQStats(socket, channel int) (occupancy, stall sim.Time) {
+	ch := p.channels[socket][channel]
+	d := p.xps[socket][channel]
+	return ch.WPQOccupancyTime(d), ch.WPQStallTime(d)
+}
+
+// UPIBytes reports the socket home agent's cumulative remote-crossing
+// traffic: bytes read from and written to this socket's memory by threads
+// running on another socket (every crossing is one 64 B line through the
+// home agent).
+func (p *Platform) UPIBytes(socket int) (read, write int64) {
+	h := p.home[socket]
+	return h.readBytes, h.writeBytes
+}
+
 // NamespaceCounters sums the counters of the DIMMs backing a namespace.
 // Note that counters are per-DIMM: if namespaces share DIMMs, traffic is
 // attributed to all of them.
@@ -269,6 +295,11 @@ type homeAgent struct {
 	lastOp  int // 0 none, 1 read, 2 write
 	lastXP  bool
 	started bool
+
+	// Cumulative crossing traffic, one 64 B line per acquire — the
+	// UPI-utilization counters the devstat layer reads.
+	readBytes  int64
+	writeBytes int64
 }
 
 func newHomeAgent(cfg UPIConfig) *homeAgent {
@@ -281,6 +312,9 @@ func (h *homeAgent) acquire(t sim.Time, write, xp bool) (sim.Time, sim.Time) {
 	if write {
 		svc = h.cfg.WriteService
 		op = 2
+		h.writeBytes += 64
+	} else {
+		h.readBytes += 64
 	}
 	if h.started && h.lastOp != op {
 		if xp || h.lastXP {

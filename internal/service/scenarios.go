@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"optanestudy/internal/devstat"
 	"optanestudy/internal/harness"
 	"optanestudy/internal/hottier"
 	"optanestudy/internal/platform"
@@ -244,6 +245,7 @@ func runPoint(spec harness.Spec) (harness.Trial, error) {
 	evict := r.Str("evict", "clock")
 	tierKind := r.Str("tier", "")
 	llcKB := r.Int64("llckb", 0)
+	devOn := r.Bool("devstat", false)
 	if err := r.Err(); err != nil {
 		return harness.Trial{}, err
 	}
@@ -377,7 +379,7 @@ func runPoint(spec harness.Spec) (harness.Trial, error) {
 				c.Gauges(add)
 			})
 		}
-		AddEWRProbe(rec, p)
+		AddDeviceProbes(rec, p)
 		switch {
 		case hotTier != nil:
 			rec.AddProbe(func(add func(string, float64)) { hotTier.Counters().Gauges(add) })
@@ -397,6 +399,13 @@ func runPoint(spec harness.Spec) (harness.Trial, error) {
 				return hits, misses
 			}
 		}
+	}
+	// The devstat watcher captures device-counter snapshots at the measured
+	// window's boundaries on its own read-only proc — it observes the run
+	// without the serving layer knowing, so results are unchanged.
+	var dw *devstat.Watcher
+	if devOn {
+		dw = devstat.Watch(p, spec.Socket, spec.Warmup, spec.Duration)
 	}
 	res, err := Serve(Config{
 		Platform: p, Backend: be,
@@ -449,6 +458,12 @@ func runPoint(spec harness.Spec) (harness.Trial, error) {
 	// cache_* keys, so every pre-existing scenario stays byte-stable.
 	harness.GateMetrics(m, hotTier != nil, func(m map[string]float64) {
 		hotTier.Counters().Metrics(m)
+	})
+	// Device-health readout, gated on the devstat param: absent (the
+	// default) the run emits zero dev_* keys, so every pre-existing
+	// scenario's output stays byte-identical under the neutrality guard.
+	harness.GateMetrics(m, dw != nil, func(m map[string]float64) {
+		dw.Window().Metrics(m)
 	})
 	harness.GateMetrics(m, hotTier == nil && isMemMode, func(m map[string]float64) {
 		hits, misses, writebacks := mb.Stats().Stats()

@@ -1,8 +1,7 @@
 package service
 
 import (
-	"fmt"
-
+	"optanestudy/internal/devstat"
 	"optanestudy/internal/platform"
 	"optanestudy/internal/sim"
 	"optanestudy/internal/telemetry"
@@ -21,24 +20,11 @@ func TraceInterval(duration sim.Time) sim.Time {
 	return iv
 }
 
-// AddEWRProbe registers per-socket 3D XPoint write-traffic gauges: the
-// controller-side write bytes (payload reaching the DIMMs) and the
-// media-side write bytes (what the media actually wrote, including
-// read-modify-write amplification of sub-XPLine stores). A renderer
-// differences successive samples into a windowed EWR proxy — Δctrl/Δmedia
-// over the interval — the paper's effective-write-ratio signal as a time
-// series instead of a single end-of-run scalar. Every socket is probed
-// unconditionally so timeline columns stay stable across samples.
-func AddEWRProbe(rec *telemetry.Recorder, p *platform.Platform) {
-	sockets := p.Config().Geometry.Sockets
-	for s := 0; s < sockets; s++ {
-		s := s
-		ctrlName := fmt.Sprintf("xp_ctrl_write_bytes_s%d", s)
-		mediaName := fmt.Sprintf("xp_media_write_bytes_s%d", s)
-		rec.AddProbe(func(add func(string, float64)) {
-			c := p.XPCounters(s)
-			add(ctrlName, float64(c.CtrlWriteBytes))
-			add(mediaName, float64(c.MediaWriteBytes))
-		})
-	}
+// AddDeviceProbes registers the per-DIMM device gauge set (controller and
+// media byte counters, XPBuffer hits/misses, WPQ stall time) with a trace
+// recorder. It replaces the earlier two-gauge per-socket EWR probe: a
+// renderer now differences per-DIMM windowed EWR, bandwidth and stall
+// fraction, and recovers the per-socket series by summing DIMMs.
+func AddDeviceProbes(rec *telemetry.Recorder, p *platform.Platform) {
+	devstat.AddProbes(rec, p)
 }
